@@ -1,0 +1,75 @@
+// Ablation — array regions vs. representants (paper Sec. V).
+//
+// The paper proposes region specifiers but ships representants as the
+// workaround. On multisort the difference is concrete: representants bind
+// dependencies to whole sort-tree nodes, so a merge waits for its entire
+// child subtrees and runs as ONE task; regions let the runtime see partial
+// overlap, so merges split into output chunks that start as soon as both
+// input runs exist, and the merge levels pipeline. Same program, same
+// data — only the dependency language changes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/multisort.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace smpss;
+using apps::ELM;
+
+constexpr long kN = 1L << 21;
+constexpr long kQuick = 1 << 14;
+constexpr long kMerge = 1 << 13;
+
+const std::vector<ELM>& input_data() {
+  static std::vector<ELM> data = [] {
+    Xoshiro256 rng(7);
+    std::vector<ELM> v(kN);
+    for (auto& x : v) x = static_cast<ELM>(rng.next());
+    return v;
+  }();
+  return data;
+}
+
+void BM_Regions(benchmark::State& state) {
+  std::uint64_t region_accesses = 0, tasks = 0;
+  for (auto _ : state) {
+    auto data = input_data();
+    std::vector<ELM> tmp(data.size());
+    Runtime rt;
+    auto tt = apps::MultisortTasks::register_in(rt);
+    auto t0 = now_ns();
+    apps::multisort_smpss_regions(rt, tt, data.data(), tmp.data(), kN, kQuick,
+                                  kMerge);
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    region_accesses = rt.stats().region_accesses;
+    tasks = rt.stats().tasks_spawned;
+  }
+  state.counters["tasks"] = static_cast<double>(tasks);
+  state.counters["region_accesses"] = static_cast<double>(region_accesses);
+}
+BENCHMARK(BM_Regions)->Name("Ablation/Multisort/regions")
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+void BM_Representants(benchmark::State& state) {
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    auto data = input_data();
+    std::vector<ELM> tmp(data.size());
+    Runtime rt;
+    auto tt = apps::MultisortTasks::register_in(rt);
+    auto t0 = now_ns();
+    apps::multisort_smpss_repr(rt, tt, data.data(), tmp.data(), kN, kQuick);
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    tasks = rt.stats().tasks_spawned;
+  }
+  state.counters["tasks"] = static_cast<double>(tasks);
+}
+BENCHMARK(BM_Representants)->Name("Ablation/Multisort/representants")
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

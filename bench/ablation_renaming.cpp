@@ -1,0 +1,78 @@
+// Ablation — renaming on/off.
+//
+// The paper claims renaming "leav[es] only the true dependencies" and calls
+// Strassen "an intensive renaming test case" and N-Queens a case where "the
+// runtime takes care of [array duplication] by renaming". This bench
+// quantifies both: with renaming disabled, WAR/WAW hazards become graph
+// edges, the reused Strassen temporaries serialize the seven products, and
+// the N-Queens set/solve overlap disappears.
+#include <benchmark/benchmark.h>
+
+#include "apps/nqueens.hpp"
+#include "apps/strassen.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+void BM_StrassenRenaming(benchmark::State& state) {
+  const bool renaming = state.range(0) != 0;
+  const int nb = 4, m = 192;
+  const int n = nb * m;
+  FlatMatrix a(n), b(n);
+  fill_random(a, 3);
+  fill_random(b, 4);
+  HyperMatrix ha(nb, m, true), hb(nb, m, true);
+  blocked_from_flat(ha, a.data());
+  blocked_from_flat(hb, b.data());
+  std::uint64_t renames = 0, hazard_edges = 0;
+  for (auto _ : state) {
+    HyperMatrix hc(nb, m, true);
+    Config cfg;
+    cfg.renaming = renaming;
+    Runtime rt(cfg);
+    auto tt = apps::StrassenTasks::register_in(rt);
+    auto t0 = now_ns();
+    apps::strassen_smpss(rt, tt, ha, hb, hc, blas::tuned_kernels());
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    renames = rt.stats().renames;
+    hazard_edges = rt.stats().war_edges + rt.stats().waw_edges;
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::strassen_flops(nb, m),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["renames"] = static_cast<double>(renames);
+  state.counters["hazard_edges"] = static_cast<double>(hazard_edges);
+}
+BENCHMARK(BM_StrassenRenaming)
+    ->Name("Ablation/Strassen")
+    ->Arg(1)->Arg(0)  // renaming on / off
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+void BM_NQueensRenaming(benchmark::State& state) {
+  const bool renaming = state.range(0) != 0;
+  std::uint64_t renames = 0, hazard_edges = 0;
+  for (auto _ : state) {
+    Config cfg;
+    cfg.renaming = renaming;
+    Runtime rt(cfg);
+    auto tt = apps::NQueensTasks::register_in(rt);
+    auto t0 = now_ns();
+    benchmark::DoNotOptimize(apps::nqueens_smpss(rt, tt, 12, 9));
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    renames = rt.stats().renames;
+    hazard_edges = rt.stats().war_edges + rt.stats().waw_edges;
+  }
+  state.counters["renames"] = static_cast<double>(renames);
+  state.counters["hazard_edges"] = static_cast<double>(hazard_edges);
+}
+BENCHMARK(BM_NQueensRenaming)
+    ->Name("Ablation/NQueens")
+    ->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

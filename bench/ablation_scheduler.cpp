@@ -1,0 +1,71 @@
+// Ablation — scheduler structure (paper Sec. III and the SuperMatrix
+// comparison of Sec. VII.C).
+//
+// Three configurations on the blocked Cholesky:
+//   distributed+creation  the paper's design: per-worker lists consumed
+//                         LIFO, FIFO stealing in creation order
+//   distributed+random    same lists, random victim order
+//   centralized           one shared FIFO (SuperMatrix-style), no locality
+// The per-worker counters expose how much work came from the owner's own
+// list (locality hits) vs. the shared queue vs. steals.
+#include <benchmark/benchmark.h>
+
+#include "apps/cholesky.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kN = 2048, kBlock = 128;
+
+void run_config(benchmark::State& state, SchedulerMode mode, StealOrder order) {
+  FlatMatrix a0(kN);
+  fill_spd(a0, 21);
+  StatsSnapshot last{};
+  for (auto _ : state) {
+    HyperMatrix h(kN / kBlock, kBlock, true);
+    blocked_from_flat(h, a0.data());
+    Config cfg;
+    cfg.scheduler_mode = mode;
+    cfg.steal_order = order;
+    Runtime rt(cfg);
+    auto tt = apps::CholeskyTasks::register_in(rt);
+    auto t0 = now_ns();
+    int rc = apps::cholesky_smpss_hyper(rt, tt, h, blas::tuned_kernels());
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    if (rc != 0) state.SkipWithError("factorization failed");
+    last = rt.stats();
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::cholesky_flops(kN), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  double executed = static_cast<double>(last.tasks_executed);
+  state.counters["own_list_pct"] =
+      executed ? 100.0 * static_cast<double>(last.acquired_own) / executed : 0;
+  state.counters["steal_pct"] =
+      executed ? 100.0 * static_cast<double>(last.steals) / executed : 0;
+  state.counters["main_q_pct"] =
+      executed ? 100.0 * static_cast<double>(last.acquired_main) / executed : 0;
+}
+
+void BM_Paper(benchmark::State& state) {
+  run_config(state, SchedulerMode::Distributed, StealOrder::CreationOrder);
+}
+void BM_RandomSteal(benchmark::State& state) {
+  run_config(state, SchedulerMode::Distributed, StealOrder::Random);
+}
+void BM_Centralized(benchmark::State& state) {
+  run_config(state, SchedulerMode::Centralized, StealOrder::CreationOrder);
+}
+
+BENCHMARK(BM_Paper)->Name("Ablation/Sched/distributed+creation")
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_RandomSteal)->Name("Ablation/Sched/distributed+random")
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_Centralized)->Name("Ablation/Sched/centralized(SuperMatrix-like)")
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Ablation — the task-window (graph size limit) blocking condition of
+// Sec. III. A small window caps the lookahead the scheduler can exploit
+// (and forces the main thread to stop generating and start executing); a
+// large window exposes more of the graph at the cost of memory. The bench
+// sweeps the window on the flat Cholesky, where get/put tasks inflate the
+// live-task population.
+#include <benchmark/benchmark.h>
+
+#include "apps/cholesky.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kN = 2048, kBlock = 128;
+
+void BM_Window(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  FlatMatrix a0(kN);
+  fill_spd(a0, 31);
+  std::uint64_t blocked = 0;
+  for (auto _ : state) {
+    FlatMatrix a(a0);
+    Config cfg;
+    cfg.task_window = window;
+    Runtime rt(cfg);
+    auto tt = apps::CholeskyTasks::register_in(rt);
+    auto t0 = now_ns();
+    int rc = apps::cholesky_smpss_flat(rt, tt, kN, a.data(), kBlock,
+                                       blas::tuned_kernels());
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    if (rc != 0) state.SkipWithError("factorization failed");
+    blocked = rt.stats().main_blocked_on_window;
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::cholesky_flops(kN), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["main_blocked"] = static_cast<double>(blocked);
+}
+
+BENCHMARK(BM_Window)->Name("Ablation/TaskWindow")
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

@@ -1,0 +1,38 @@
+// Shared helpers for the figure-reproduction benches. Sizes are scaled to a
+// single laptop/server-class node (the paper ran 8192^2 matrices on a
+// 32-core Altix; the *shapes* of the curves are what we reproduce). Override
+// the problem size with SMPSS_BENCH_SCALE=2 (doubles n) where supported.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/affinity.hpp"
+#include "common/env.hpp"
+
+namespace smpss::benchutil {
+
+/// Thread counts mirroring the paper's x-axes (1..32), clipped to this
+/// machine.
+inline std::vector<long> thread_axis() {
+  const long hw = static_cast<long>(hardware_concurrency());
+  std::vector<long> axis;
+  for (long t : {1L, 2L, 4L, 8L, 12L, 16L, 24L, 32L})
+    if (t <= hw) axis.push_back(t);
+  if (axis.empty() || axis.back() != hw) axis.push_back(hw);
+  return axis;
+}
+
+inline void apply_thread_axis(benchmark::internal::Benchmark* b) {
+  for (long t : thread_axis()) b->Arg(t);
+}
+
+/// Problem-size multiplier from the environment (1 = default).
+inline int bench_scale() {
+  if (auto v = env_int("SMPSS_BENCH_SCALE"); v && *v >= 1 && *v <= 8)
+    return static_cast<int>(*v);
+  return 1;
+}
+
+}  // namespace smpss::benchutil

@@ -1,0 +1,88 @@
+// Fig. 5 — "Task dependency graph created by a 6 by 6 block Cholesky."
+//
+// Regenerates the figure's artifact: builds the 6x6 blocked Cholesky task
+// graph, checks the paper's stated facts (56 tasks; after tasks 1 and 6 run,
+// task 51 can start), writes the Graphviz rendering to
+// fig05_cholesky_6x6.dot, and benchmarks graph construction itself (the
+// per-task runtime cost the granularity discussion in Sec. VI rests on).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "apps/cholesky.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/graph_stats.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+void print_fig5_facts_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    Config cfg;
+    cfg.num_threads = 1;
+    cfg.record_graph = true;
+    Runtime rt(cfg);
+    auto tt = apps::CholeskyTasks::register_in(rt);
+    HyperMatrix h(6, 16, true);
+    FlatMatrix a(96);
+    fill_spd(a, 5);
+    blocked_from_flat(h, a.data());
+    apps::cholesky_smpss_hyper(rt, tt, h, blas::tuned_kernels());
+
+    const auto& rec = rt.graph_recorder();
+    auto gs = analyze_graph(rec);
+    auto preds51 = predecessors_of(rec, 51);
+    auto closure51 = ancestor_closure(rec, 51);
+
+    std::printf("=== Fig. 5: 6x6 block Cholesky task graph ===\n");
+    std::printf("tasks: %zu (paper: 56)\n", gs.nodes);
+    std::printf("true-dependency edges: %zu\n", gs.edges);
+    std::printf("critical path: %zu tasks, max width: %zu, avg "
+                "parallelism: %.2f\n",
+                gs.critical_path, gs.max_width, gs.avg_parallelism);
+    std::printf("per type: spotrf=%zu strsm=%zu ssyrk=%zu sgemm=%zu\n",
+                gs.per_type_counts[1], gs.per_type_counts[2],
+                gs.per_type_counts[3], gs.per_type_counts[4]);
+    std::printf("predecessors(task 51) = {");
+    for (auto p : preds51) std::printf(" %llu", (unsigned long long)p);
+    std::printf(" }  ancestor closure = {");
+    for (auto p : closure51) std::printf(" %llu", (unsigned long long)p);
+    std::printf(" }   (paper: after tasks 1 and 6, task 51 can start)\n");
+
+    std::ofstream dot("fig05_cholesky_6x6.dot");
+    export_dot(dot, rec, rt.task_types());
+    std::printf("wrote fig05_cholesky_6x6.dot\n\n");
+  });
+}
+
+/// Cost of dynamic graph generation: spawn N tasks with dependencies but
+/// trivial bodies; reports tasks/second the main thread can sustain — the
+/// budget behind the paper's ~250 us granularity guidance.
+void BM_GraphConstruction(benchmark::State& state) {
+  print_fig5_facts_once();
+  const int nb = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Config cfg;
+    cfg.num_threads = 2;
+    Runtime rt(cfg);
+    auto tt = apps::CholeskyTasks::register_in(rt);
+    HyperMatrix h(nb, 2, true);  // 2x2 blocks: bodies are ~free
+    FlatMatrix a(nb * 2);
+    fill_spd(a, 6);
+    blocked_from_flat(h, a.data());
+    apps::cholesky_smpss_hyper(rt, tt, h, blas::tuned_kernels());
+    state.counters["tasks"] = static_cast<double>(rt.stats().tasks_spawned);
+  }
+  const double tasks = state.counters["tasks"];
+  state.counters["tasks_per_sec"] =
+      benchmark::Counter(tasks, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GraphConstruction)->Arg(6)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

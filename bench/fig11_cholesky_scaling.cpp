@@ -1,0 +1,89 @@
+// Fig. 11 — "Performance of Cholesky with matrices of 8192x8192 single
+// precision floats varying the number of processors with SMPSs, Goto BLAS
+// and Intel MKL."
+//
+// Four series, as in the paper:
+//   SMPSs + tuned tiles / SMPSs + ref tiles      (flat matrix, on-demand
+//                                                 block copies — Fig. 9/10)
+//   Threaded tuned / Threaded ref                (bulk-synchronous blocked
+//                                                 Cholesky baselines)
+// Expected shape: the dependency-unaware threaded baselines stop scaling
+// early (the paper: MKL ~4 threads, Goto ~10) because the panel serializes
+// behind barriers; SMPSs keeps scaling to the full machine.
+#include <benchmark/benchmark.h>
+
+#include "apps/cholesky.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "blas/threaded_blas.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kBaseN = 2048;
+constexpr int kBlock = 128;  // the paper's tuned choice scaled down (256@8192)
+
+template <blas::Variant V>
+void BM_SmpssCholesky(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int n = kBaseN * benchutil::bench_scale();
+  FlatMatrix a0(n);
+  fill_spd(a0, 11);
+  for (auto _ : state) {
+    FlatMatrix a(a0);
+    Config cfg;
+    cfg.num_threads = threads;
+    Runtime rt(cfg);
+    auto tt = apps::CholeskyTasks::register_in(rt);
+    auto t0 = now_ns();
+    int rc = apps::cholesky_smpss_flat(rt, tt, n, a.data(), kBlock,
+                                       blas::kernels(V));
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    if (rc != 0) state.SkipWithError("factorization failed");
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::cholesky_flops(n), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = threads;
+}
+
+template <blas::Variant V>
+void BM_ThreadedCholesky(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int n = kBaseN * benchutil::bench_scale();
+  FlatMatrix a0(n);
+  fill_spd(a0, 11);
+  blas::ThreadedBlas tb(threads, V);
+  for (auto _ : state) {
+    FlatMatrix a(a0);
+    auto t0 = now_ns();
+    int rc = tb.potrf_ln_flat(n, a.data(), kBlock);
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    if (rc != 0) state.SkipWithError("factorization failed");
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::cholesky_flops(n), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = threads;
+}
+
+BENCHMARK(BM_SmpssCholesky<blas::Variant::Tuned>)
+    ->Name("Fig11/SMPSs+tuned_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_SmpssCholesky<blas::Variant::Ref>)
+    ->Name("Fig11/SMPSs+ref_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_ThreadedCholesky<blas::Variant::Tuned>)
+    ->Name("Fig11/Threaded_tuned")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_ThreadedCholesky<blas::Variant::Ref>)
+    ->Name("Fig11/Threaded_ref")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

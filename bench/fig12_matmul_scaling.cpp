@@ -1,0 +1,86 @@
+// Fig. 12 — "Performance of matrix multiplication with on-demand block
+// copies with matrices of 8192x8192 single precision floats varying the
+// number of processors."
+//
+// Series: SMPSs flat matmul (get/put + opaque flats, two tile variants) and
+// the row-panel threaded GEMM baselines. Expected shape, as in the paper:
+// the threaded libraries respond smoothly to thread count; SMPSs shows a
+// staircase (a fixed block grid starves when the task count does not divide
+// by the thread count) but is competitive at full machine width.
+#include <benchmark/benchmark.h>
+
+#include "apps/matmul.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "blas/threaded_blas.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kBaseN = 1536;
+constexpr int kBlock = 256;
+
+template <blas::Variant V>
+void BM_SmpssMatmulFlat(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int n = kBaseN * benchutil::bench_scale();
+  FlatMatrix a(n), b(n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  for (auto _ : state) {
+    FlatMatrix c(n);
+    Config cfg;
+    cfg.num_threads = threads;
+    Runtime rt(cfg);
+    auto tt = apps::MatmulTasks::register_in(rt);
+    auto t0 = now_ns();
+    apps::matmul_smpss_flat(rt, tt, n, a.data(), b.data(), c.data(), kBlock,
+                            blas::kernels(V));
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::matmul_flops(n), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = threads;
+}
+
+template <blas::Variant V>
+void BM_ThreadedGemm(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int n = kBaseN * benchutil::bench_scale();
+  FlatMatrix a(n), b(n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  blas::ThreadedBlas tb(threads, V);
+  for (auto _ : state) {
+    FlatMatrix c(n);
+    auto t0 = now_ns();
+    tb.gemm_nn_acc_flat(n, a.data(), b.data(), c.data());
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::matmul_flops(n), benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = threads;
+}
+
+BENCHMARK(BM_SmpssMatmulFlat<blas::Variant::Tuned>)
+    ->Name("Fig12/SMPSs+tuned_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_SmpssMatmulFlat<blas::Variant::Ref>)
+    ->Name("Fig12/SMPSs+ref_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_ThreadedGemm<blas::Variant::Tuned>)
+    ->Name("Fig12/Threaded_tuned")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_ThreadedGemm<blas::Variant::Ref>)
+    ->Name("Fig12/Threaded_ref")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Fig. 13 — "Performance of the blocked Strassen's algorithm on
+// hyper-matrices of 8192x8192 single precision floats arranged in blocks of
+// 512 by 512 elements varying the number of processors."
+//
+// Gflops computed with Strassen's operation count, as the paper does.
+// Expected shape: smoother scaling than the plain multiplication (the less
+// linear graph gives work-stealing room), but lower absolute Gflops — the
+// renaming allocations and the memory-bound additions both cost (paper
+// Sec. VI.C). The renamed-bytes counter is reported to show the renaming
+// pressure.
+#include <benchmark/benchmark.h>
+
+#include "apps/strassen.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kNb = 8;      // 8x8 block grid (power of two, as required)
+constexpr int kBlock = 192; // n = 1536
+
+template <blas::Variant V>
+void BM_Strassen(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const int scale = benchutil::bench_scale();
+  const int m = kBlock * scale;
+  const int n = kNb * m;
+  FlatMatrix a(n), b(n);
+  fill_random(a, 13);
+  fill_random(b, 14);
+  HyperMatrix ha(kNb, m, true), hb(kNb, m, true);
+  blocked_from_flat(ha, a.data());
+  blocked_from_flat(hb, b.data());
+  std::uint64_t renames = 0, rename_bytes = 0;
+  for (auto _ : state) {
+    HyperMatrix hc(kNb, m, true);
+    Config cfg;
+    cfg.num_threads = threads;
+    Runtime rt(cfg);
+    auto tt = apps::StrassenTasks::register_in(rt);
+    auto t0 = now_ns();
+    apps::strassen_smpss(rt, tt, ha, hb, hc, blas::kernels(V));
+    state.SetIterationTime(seconds_between(t0, now_ns()));
+    renames = rt.stats().renames;
+    rename_bytes = rt.stats().rename_bytes_total;
+  }
+  state.counters["Gflops"] = benchmark::Counter(
+      apps::strassen_flops(kNb, m),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = threads;
+  state.counters["renames"] = static_cast<double>(renames);
+  state.counters["renamed_MiB"] =
+      static_cast<double>(rename_bytes) / (1 << 20);
+}
+
+BENCHMARK(BM_Strassen<blas::Variant::Tuned>)
+    ->Name("Fig13/SMPSs+tuned_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+BENCHMARK(BM_Strassen<blas::Variant::Ref>)
+    ->Name("Fig13/SMPSs+ref_tiles")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace

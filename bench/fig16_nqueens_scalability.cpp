@@ -1,0 +1,90 @@
+// Fig. 16 — "Scalability of N Queens with array duplications varying the
+// number of processors compared to the same programming model with 1
+// thread."
+//
+// The paper's methodological point: many publications compare Cilk/OpenMP
+// against a sequential version that already contains the parallel version's
+// array copies, which inflates reported scalability. Normalizing each model
+// by its own 1-thread run (this figure) shows near-ideal scalability for
+// all three — the differences of Fig. 15 come from 1-thread overheads, not
+// from scheduling.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <mutex>
+
+#include "apps/nqueens.hpp"
+#include "bench_common.hpp"
+#include "common/timing.hpp"
+
+namespace {
+
+using namespace smpss;
+
+constexpr int kN = 13;
+constexpr int kDepth = 10;
+
+enum class Model { Smpss, ForkJoin, TaskPool };
+
+long run_model(Model m, unsigned threads) {
+  switch (m) {
+    case Model::Smpss: {
+      Config cfg;
+      cfg.num_threads = threads;
+      Runtime rt(cfg);
+      auto tt = apps::NQueensTasks::register_in(rt);
+      return apps::nqueens_smpss(rt, tt, kN, kDepth);
+    }
+    case Model::ForkJoin: {
+      fj::Scheduler s(threads);
+      return apps::nqueens_fj(s, kN, kDepth);
+    }
+    case Model::TaskPool: {
+      omp3::TaskPool p(threads);
+      return apps::nqueens_omp3(p, kN, kDepth);
+    }
+  }
+  return 0;
+}
+
+double one_thread_seconds(Model m) {
+  static std::mutex mu;
+  static std::map<Model, double> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find(m);
+  if (it != cache.end()) return it->second;
+  auto t0 = now_ns();
+  benchmark::DoNotOptimize(run_model(m, 1));
+  double secs = seconds_between(t0, now_ns());
+  cache[m] = secs;
+  return secs;
+}
+
+template <Model M>
+void BM_Scalability(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  double total = 0.0;
+  for (auto _ : state) {
+    auto t0 = now_ns();
+    benchmark::DoNotOptimize(run_model(M, threads));
+    total += seconds_between(t0, now_ns());
+  }
+  double mean = total / static_cast<double>(state.iterations());
+  state.counters["speedup_vs_1thread"] = one_thread_seconds(M) / mean;
+  state.counters["threads"] = threads;
+}
+
+BENCHMARK(BM_Scalability<Model::Smpss>)
+    ->Name("Fig16/SMPSs")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Scalability<Model::ForkJoin>)
+    ->Name("Fig16/Cilk-like")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Scalability<Model::TaskPool>)
+    ->Name("Fig16/OMP3-like")
+    ->Apply(benchutil::apply_thread_axis)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,21 @@
+/* The paper's Fig. 2 task declarations (plus the Fig. 10 block movers),
+ * in the original `#pragma css` syntax. The cssc translator turns this file
+ * into C++ spawn adapters at build time — see examples/cssc_pipeline.cpp. */
+
+#pragma css task input(a, b) inout(c)
+void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+
+#pragma css task inout(a) highpriority
+void spotrf_t(float a[M][M]);
+
+#pragma css task input(a) inout(b)
+void strsm_t(float a[M][M], float b[M][M]);
+
+#pragma css task input(a) inout(b)
+void ssyrk_t(float a[M][M], float b[M][M]);
+
+#pragma css task input(A, i, j) output(a[M][M])
+void get_block(int i, int j, void *A, float *a);
+
+#pragma css task input(a[M][M], i, j)
+void put_block(int i, int j, float *a, void *A);

@@ -1,0 +1,60 @@
+// Heat-diffusion example: 2-D Jacobi sweeps over array regions (the
+// Sec. V.A language extension on a classic flat-data stencil). Shows the
+// wavefront dependency structure the region analyzer extracts, and compares
+// against the sequential sweep.
+//
+// Usage: ./examples/heat_regions [n] [steps] [band]  (defaults 512 100 32)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/heat.hpp"
+#include "common/timing.hpp"
+#include "graph/graph_stats.hpp"
+
+using namespace smpss;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 50;
+  const int band = argc > 3 ? std::atoi(argv[3]) : 64;
+  const std::size_t cells = static_cast<std::size_t>(n) * n;
+
+  std::vector<float> a_seq(cells), b_seq(cells, 0.0f);
+  apps::heat_init(n, a_seq.data());
+  auto t0 = now_ns();
+  apps::heat_seq(n, a_seq.data(), b_seq.data(), steps);
+  double t_sequential = seconds_between(t0, now_ns());
+  const float* expect = apps::heat_result(a_seq.data(), b_seq.data(), steps);
+
+  std::vector<float> a(cells), b(cells, 0.0f);
+  apps::heat_init(n, a.data());
+  Config cfg;
+  cfg.record_graph = true;
+  Runtime rt(cfg);
+  auto tt = apps::HeatTasks::register_in(rt);
+  t0 = now_ns();
+  apps::heat_smpss_regions(rt, tt, n, a.data(), b.data(), steps, band);
+  double t_parallel = seconds_between(t0, now_ns());
+  const float* got = apps::heat_result(a.data(), b.data(), steps);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < cells; ++i)
+    if (got[i] != expect[i]) identical = false;
+
+  auto gs = analyze_graph(rt.graph_recorder());
+  std::printf("heat %dx%d, %d sweeps, band=%d, %u threads\n", n, n, steps,
+              band, rt.num_threads());
+  std::printf("  sequential: %.3fs   regions: %.3fs   speedup %.2fx\n",
+              t_sequential, t_parallel, t_sequential / t_parallel);
+  std::printf("  results bit-identical: %s\n", identical ? "yes" : "NO");
+  // Note: the recorded critical path covers only edges between tasks that
+  // were simultaneously live — sweeps that completed before later ones were
+  // spawned leave no recorded edge (their data is already in memory).
+  std::printf("  graph: %zu tasks, %zu recorded true edges, recorded "
+              "critical path %zu, avg parallelism %.1f\n",
+              gs.nodes, gs.edges, gs.critical_path, gs.avg_parallelism);
+  std::printf("  region accesses analyzed: %llu\n",
+              static_cast<unsigned long long>(rt.stats().region_accesses));
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Multisort demo (paper Fig. 7 + Sec. V/VI.D): sorts the same array with
+// the array-region build, the representant build, the Cilk-like and
+// OMP3-like baselines, and the sequential recursion, reporting times.
+//
+// Usage: ./examples/multisort_demo [n] (default 4M elements)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/multisort.hpp"
+#include "common/affinity.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+using namespace smpss;
+using apps::ELM;
+
+namespace {
+
+std::vector<ELM> make_data(long n) {
+  Xoshiro256 rng(42);
+  std::vector<ELM> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<ELM>(rng.next());
+  return v;
+}
+
+double time_sort(const char* name, const std::vector<ELM>& input,
+                 void (*run)(std::vector<ELM>&, std::vector<ELM>&, long)) {
+  std::vector<ELM> data = input;
+  std::vector<ELM> tmp(data.size());
+  auto t0 = now_ns();
+  run(data, tmp, static_cast<long>(data.size()));
+  double secs = seconds_between(t0, now_ns());
+  bool ok = std::is_sorted(data.begin(), data.end());
+  std::printf("  %-14s %8.3fs  %s\n", name, secs, ok ? "sorted" : "FAILED");
+  return secs;
+}
+
+constexpr long kQuick = 1 << 15;
+constexpr long kMerge = 1 << 14;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long n = argc > 1 ? std::atol(argv[1]) : (1L << 22);
+  auto input = make_data(n);
+  std::printf("multisort of %ld longs (quick=%ld merge=%ld)\n", n, kQuick,
+              kMerge);
+
+  double seq = time_sort("sequential", input,
+                         [](std::vector<ELM>& d, std::vector<ELM>& t, long nn) {
+                           apps::multisort_seq(d.data(), t.data(), nn, kQuick);
+                         });
+
+  double smpss_regions = time_sort(
+      "smpss/regions", input,
+      [](std::vector<ELM>& d, std::vector<ELM>& t, long nn) {
+        Runtime rt;
+        auto tt = apps::MultisortTasks::register_in(rt);
+        apps::multisort_smpss_regions(rt, tt, d.data(), t.data(), nn, kQuick,
+                                      kMerge);
+      });
+
+  double smpss_repr = time_sort(
+      "smpss/repr", input,
+      [](std::vector<ELM>& d, std::vector<ELM>& t, long nn) {
+        Runtime rt;
+        auto tt = apps::MultisortTasks::register_in(rt);
+        apps::multisort_smpss_repr(rt, tt, d.data(), t.data(), nn, kQuick);
+      });
+
+  double cilkish = time_sort("forkjoin", input,
+                             [](std::vector<ELM>& d, std::vector<ELM>& t,
+                                long nn) {
+                               fj::Scheduler s(hardware_concurrency());
+                               apps::multisort_fj(s, d.data(), t.data(), nn,
+                                                  kQuick, kMerge);
+                             });
+
+  double pool = time_sort("taskpool", input,
+                          [](std::vector<ELM>& d, std::vector<ELM>& t,
+                             long nn) {
+                            omp3::TaskPool p(hardware_concurrency());
+                            apps::multisort_omp3(p, d.data(), t.data(), nn,
+                                                 kQuick, kMerge);
+                          });
+
+  std::printf("speedups vs sequential: regions %.2fx, repr %.2fx, "
+              "forkjoin %.2fx, taskpool %.2fx\n",
+              seq / smpss_regions, seq / smpss_repr, seq / cilkish,
+              seq / pool);
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "apps/cholesky.hpp"
+
+#include <atomic>
+
+namespace smpss::apps {
+
+CholeskyTasks CholeskyTasks::register_in(Runtime& rt) {
+  CholeskyTasks t;
+  // spotrf is on the critical path of the factorization; the paper's
+  // highpriority clause exists for exactly this kind of task.
+  t.spotrf = rt.register_task_type("spotrf_t", /*high_priority=*/true);
+  t.strsm = rt.register_task_type("strsm_t");
+  t.ssyrk = rt.register_task_type("ssyrk_t");
+  t.sgemm = rt.register_task_type("sgemm_t");
+  t.get = rt.register_task_type("get_block");
+  t.put = rt.register_task_type("put_block");
+  return t;
+}
+
+int cholesky_seq_flat(int n, float* a, const blas::Kernels& k) {
+  return k.potrf_ln(n, a);
+}
+
+namespace {
+
+/// Shared error slot: potrf failures inside tasks surface after the barrier.
+/// Passed to tasks as an opaque pointer — the paper's escape hatch for data
+/// the runtime must not track.
+struct ErrFlag {
+  std::atomic<int> value{0};
+  void set(int rc) noexcept {
+    int expected = 0;
+    value.compare_exchange_strong(expected, rc, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+int cholesky_smpss_hyper(Runtime& rt, const CholeskyTasks& tt, HyperMatrix& A,
+                         const blas::Kernels& k) {
+  const int nb = A.nblocks();
+  const int m = A.block_dim();
+  const std::size_t be = A.block_elems();
+  ErrFlag err;
+  const blas::Kernels* kp = &k;
+
+  // Fig. 4, line for line. Only lower-triangle blocks are touched.
+  for (int j = 0; j < nb; ++j) {
+    for (int kk = 0; kk < j; ++kk)
+      for (int i = j + 1; i < nb; ++i)
+        rt.spawn(tt.sgemm,
+                 [kp, m](const float* a, const float* b, float* c) {
+                   kp->gemm_nt_minus(m, a, b, c);
+                 },
+                 in(A.block(i, kk), be), in(A.block(j, kk), be),
+                 inout(A.block(i, j), be));
+    for (int i = 0; i < j; ++i)
+      rt.spawn(tt.ssyrk,
+               [kp, m](const float* a, float* c) {
+                 kp->syrk_ln_minus(m, a, c);
+               },
+               in(A.block(j, i), be), inout(A.block(j, j), be));
+    rt.spawn(tt.spotrf,
+             [kp, m](float* a, ErrFlag* e) {
+               if (int rc = kp->potrf_ln(m, a); rc != 0) e->set(rc);
+             },
+             inout(A.block(j, j), be), opaque(&err));
+    for (int i = j + 1; i < nb; ++i)
+      rt.spawn(tt.strsm,
+               [kp, m](const float* l, float* x) { kp->trsm_rltn(m, l, x); },
+               in(A.block(j, j), be), inout(A.block(i, j), be));
+  }
+  rt.barrier();
+  return err.value.load(std::memory_order_relaxed);
+}
+
+int cholesky_smpss_flat(Runtime& rt, const CholeskyTasks& tt, int n, float* a,
+                        int bs, const blas::Kernels& k) {
+  SMPSS_CHECK(n % bs == 0, "block size must divide the matrix size");
+  const int nb = n / bs;
+  const int m = bs;
+  const int lda = n;
+  HyperMatrix A(nb, m, /*allocate_all=*/false);
+  const std::size_t be = A.block_elems();
+  ErrFlag err;
+  const blas::Kernels* kp = &k;
+
+  // Fig. 10's get_block_once: allocate the block and spawn the copy-in task
+  // the first time a block is touched. The flat matrix is opaque: "pointers
+  // with type void* are opaque to the runtime and are passed directly to the
+  // tasks skipping any dependency analysis".
+  auto get_block_once = [&](int i, int j) {
+    if (A.present(i, j)) return;
+    float* blk = A.ensure_block(i, j);
+    rt.spawn(tt.get,
+             [m, lda](const float* flat, const int& bi, const int& bj,
+                      float* out_blk) { get_block(bi, bj, m, lda, flat, out_blk); },
+             opaque(static_cast<const float*>(a)), value(i), value(j),
+             out(blk, be));
+  };
+
+  // Fig. 9, line for line.
+  for (int j = 0; j < nb; ++j) {
+    for (int kk = 0; kk < j; ++kk)
+      for (int i = j + 1; i < nb; ++i) {
+        get_block_once(i, kk);
+        get_block_once(j, kk);
+        get_block_once(i, j);
+        rt.spawn(tt.sgemm,
+                 [kp, m](const float* x, const float* y, float* c) {
+                   kp->gemm_nt_minus(m, x, y, c);
+                 },
+                 in(A.block(i, kk), be), in(A.block(j, kk), be),
+                 inout(A.block(i, j), be));
+      }
+    for (int i = 0; i < j; ++i) {
+      get_block_once(j, i);
+      get_block_once(j, j);
+      rt.spawn(tt.ssyrk,
+               [kp, m](const float* x, float* c) { kp->syrk_ln_minus(m, x, c); },
+               in(A.block(j, i), be), inout(A.block(j, j), be));
+    }
+    get_block_once(j, j);
+    rt.spawn(tt.spotrf,
+             [kp, m](float* x, ErrFlag* e) {
+               if (int rc = kp->potrf_ln(m, x); rc != 0) e->set(rc);
+             },
+             inout(A.block(j, j), be), opaque(&err));
+    for (int i = j + 1; i < nb; ++i) {
+      get_block_once(i, j);
+      rt.spawn(tt.strsm,
+               [kp, m](const float* l, float* x) { kp->trsm_rltn(m, l, x); },
+               in(A.block(j, j), be), inout(A.block(i, j), be));
+    }
+  }
+  // Copy-back phase of Fig. 9: "for (i,j): if (A[i][j]) put_block(...)".
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j)
+      if (A.present(i, j))
+        rt.spawn(tt.put,
+                 [m, lda](const float* blk, const int& bi, const int& bj,
+                          float* flat) { put_block(bi, bj, m, lda, blk, flat); },
+                 in(A.block(i, j), be), value(i), value(j),
+                 opaque(static_cast<float*>(a)));
+  rt.barrier();
+  return err.value.load(std::memory_order_relaxed);
+}
+
+std::uint64_t cholesky_hyper_task_count(int nb) {
+  const auto n = static_cast<std::uint64_t>(nb);
+  // potrf: n, trsm: n(n-1)/2, syrk: n(n-1)/2, gemm: sum_j j*(n-1-j).
+  std::uint64_t gemm = 0;
+  for (std::uint64_t j = 0; j < n; ++j) gemm += j * (n - 1 - j);
+  return n + n * (n - 1) + gemm;
+}
+
+std::uint64_t cholesky_flat_task_count(int nb) {
+  const auto n = static_cast<std::uint64_t>(nb);
+  // One get and one put per distinct lower-triangle block touched.
+  return cholesky_hyper_task_count(nb) + 2 * (n * (n + 1) / 2);
+}
+
+double cholesky_flops(int n) {
+  const double d = n;
+  return d * d * d / 3.0;
+}
+
+}  // namespace smpss::apps

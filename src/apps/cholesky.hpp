@@ -1,0 +1,58 @@
+// Cholesky factorization — the paper's flagship application.
+//
+// Three parallel variants plus a sequential oracle:
+//  * smpss_hyper:  left-looking in-place factorization of a dense
+//                  hyper-matrix, Fig. 4 verbatim (the Fig. 5 graph source).
+//  * smpss_flat:   the same algorithm over a flat matrix with on-demand
+//                  block copies, Fig. 9/10 verbatim — the flat matrix is
+//                  passed to get/put tasks as an *opaque* pointer.
+//  * threaded:     bulk-synchronous baseline (see blas/threaded_blas.hpp).
+//  * seq_flat:     single-threaded oracle for validation.
+//
+// All variants factorize the lower triangle in place; the upper triangle is
+// left untouched (compare with max_abs_diff_lower).
+#pragma once
+
+#include <cstdint>
+
+#include "blas/kernels.hpp"
+#include "hyper/hyper_matrix.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+/// Task types of the Cholesky apps, registered once per Runtime so that
+/// graphs, traces and stats share names/colors (Fig. 5 legend).
+struct CholeskyTasks {
+  TaskType spotrf, strsm, ssyrk, sgemm, get, put;
+  static CholeskyTasks register_in(Runtime& rt);
+};
+
+/// Sequential oracle: in-place lower Cholesky of a flat n x n matrix.
+/// Returns 0 on success (see Kernels::potrf_ln for the error convention).
+int cholesky_seq_flat(int n, float* a, const blas::Kernels& k);
+
+/// Fig. 4: left-looking blocked Cholesky on a dense hyper-matrix. Spawns
+/// tasks and runs to the barrier. Returns 0 on success.
+int cholesky_smpss_hyper(Runtime& rt, const CholeskyTasks& tt, HyperMatrix& A,
+                         const blas::Kernels& k);
+
+/// Fig. 9/10: the same algorithm over a flat matrix, copying blocks into a
+/// hyper-matrix on demand (get_block_once) and back at the end. `bs` must
+/// divide n. Returns 0 on success.
+int cholesky_smpss_flat(Runtime& rt, const CholeskyTasks& tt, int n, float* a,
+                        int bs, const blas::Kernels& k);
+
+/// Number of tasks cholesky_smpss_hyper spawns for an nb x nb hyper-matrix
+/// (56 for nb=6, matching Fig. 5).
+std::uint64_t cholesky_hyper_task_count(int nb);
+
+/// Number of tasks cholesky_smpss_flat spawns (adds one get per distinct
+/// lower-triangle block and one put per block). Reproduces the in-text
+/// counts of Sec. VI: 49,920 for nb=64 and 374,272 for nb=128.
+std::uint64_t cholesky_flat_task_count(int nb);
+
+/// 1/3 n^3 flops (the standard Cholesky count used for Gflops reporting).
+double cholesky_flops(int n);
+
+}  // namespace smpss::apps

@@ -1,0 +1,87 @@
+#include "apps/heat.hpp"
+
+#include <algorithm>
+
+namespace smpss::apps {
+
+HeatTasks HeatTasks::register_in(Runtime& rt) {
+  HeatTasks t;
+  t.sweep = rt.register_task_type("heat_sweep");
+  return t;
+}
+
+namespace {
+
+/// One Jacobi sweep over interior rows [r0, r1) reading `src`, writing
+/// `dst`. Boundary rows/columns are copied through unchanged.
+void sweep_band(int n, const float* src, float* dst, int r0, int r1) {
+  for (int i = r0; i < r1; ++i) {
+    const float* up = src + static_cast<std::size_t>(i - 1) * n;
+    const float* mid = src + static_cast<std::size_t>(i) * n;
+    const float* down = src + static_cast<std::size_t>(i + 1) * n;
+    float* out_row = dst + static_cast<std::size_t>(i) * n;
+    out_row[0] = mid[0];
+    for (int j = 1; j < n - 1; ++j)
+      out_row[j] = 0.25f * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+    out_row[n - 1] = mid[n - 1];
+  }
+}
+
+void copy_boundary_rows(int n, const float* src, float* dst) {
+  std::copy(src, src + n, dst);
+  std::copy(src + static_cast<std::size_t>(n - 1) * n,
+            src + static_cast<std::size_t>(n) * n,
+            dst + static_cast<std::size_t>(n - 1) * n);
+}
+
+}  // namespace
+
+void heat_init(int n, float* grid, float edge_value) {
+  std::fill(grid, grid + static_cast<std::size_t>(n) * n, 0.0f);
+  for (int j = 0; j < n; ++j) grid[j] = edge_value;              // top edge hot
+  for (int i = 0; i < n; ++i)
+    grid[static_cast<std::size_t>(i) * n] = edge_value * 0.5f;   // left edge warm
+}
+
+void heat_seq(int n, float* a, float* b, int steps) {
+  float* src = a;
+  float* dst = b;
+  for (int s = 0; s < steps; ++s) {
+    copy_boundary_rows(n, src, dst);
+    sweep_band(n, src, dst, 1, n - 1);
+    std::swap(src, dst);
+  }
+}
+
+void heat_smpss_regions(Runtime& rt, const HeatTasks& tt, int n, float* a,
+                        float* b, int steps, int band) {
+  SMPSS_CHECK(band >= 1, "band must be positive");
+  float* src = a;
+  float* dst = b;
+  for (int s = 0; s < steps; ++s) {
+    // Boundary rows ride along with the first/last band's task; interior
+    // bands cover [r0, r1) with a halo-extended read region.
+    for (int r0 = 1; r0 < n - 1; r0 += band) {
+      const int r1 = std::min(n - 1, r0 + band);
+      const bool first = r0 == 1, last = r1 == n - 1;
+      rt.spawn(
+          tt.sweep,
+          [n, r0, r1, first, last](const float* in_grid, float* out_grid) {
+            sweep_band(n, in_grid, out_grid, r0, r1);
+            if (first) std::copy(in_grid, in_grid + n, out_grid);
+            if (last)
+              std::copy(in_grid + static_cast<std::size_t>(n - 1) * n,
+                        in_grid + static_cast<std::size_t>(n) * n,
+                        out_grid + static_cast<std::size_t>(n - 1) * n);
+          },
+          in(src, Region{{Bound::closed(r0 - 1, r1), Bound::whole()}}),
+          out(dst, Region{{Bound::closed(first ? 0 : r0,
+                                         last ? n - 1 : r1 - 1),
+                           Bound::whole()}}));
+    }
+    std::swap(src, dst);
+  }
+  rt.barrier();
+}
+
+}  // namespace smpss::apps

@@ -1,0 +1,41 @@
+// 2-D Jacobi heat diffusion over array regions — a classic flat-data HPC
+// kernel that the Sec. V.A region extension handles naturally: the grid is
+// never blocked into hyper-matrices; tasks read halo-extended row bands and
+// write interior bands, and the band-to-band overlap between consecutive
+// sweeps produces the wavefront dependency structure automatically (band k
+// of sweep t depends on bands k-1, k, k+1 of sweep t-1).
+//
+// This is the kind of "algorithm that does not adapt well to blocking" the
+// paper motivates regions with: the same cells are read by up to three
+// different tasks per sweep with overlapping, shifted extents.
+#pragma once
+
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+struct HeatTasks {
+  TaskType sweep;
+  static HeatTasks register_in(Runtime& rt);
+};
+
+/// Sequential oracle: `steps` Jacobi sweeps on an n x n grid (row-major),
+/// alternating between `a` and `b`; boundary cells are fixed. The result
+/// (after an even or odd number of steps) is left in `a` if steps is even,
+/// else in `b` — as with the parallel version, use result_grid().
+void heat_seq(int n, float* a, float* b, int steps);
+
+/// Region-based parallel version: one task per row band per sweep; `band`
+/// rows per task. Produces bit-identical results to heat_seq.
+void heat_smpss_regions(Runtime& rt, const HeatTasks& tt, int n, float* a,
+                        float* b, int steps, int band);
+
+/// Which buffer holds the result after `steps` sweeps starting from `a`.
+inline float* heat_result(float* a, float* b, int steps) {
+  return steps % 2 == 0 ? a : b;
+}
+
+/// Deterministic initial condition: hot edge, cold interior.
+void heat_init(int n, float* grid, float edge_value = 100.0f);
+
+}  // namespace smpss::apps

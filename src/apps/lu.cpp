@@ -1,0 +1,156 @@
+#include "apps/lu.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <utility>
+
+namespace smpss::apps {
+
+LuTasks LuTasks::register_in(Runtime& rt) {
+  LuTasks t;
+  t.panel = rt.register_task_type("lu_panel", /*high_priority=*/true);
+  t.update = rt.register_task_type("lu_update");
+  t.swap_left = rt.register_task_type("lu_swap_left");
+  return t;
+}
+
+namespace {
+
+/// Factorize columns [c0, c1) over rows [c0, n) of the flat matrix in place,
+/// unblocked, choosing partial pivots and swapping rows *within those
+/// columns only*. Records global pivot rows into piv[c0..c1). Returns 0 or
+/// 1 + failing column.
+int panel_factor(int n, float* a, int c0, int c1, int* piv) {
+  for (int j = c0; j < c1; ++j) {
+    // Pivot search in column j, rows j..n-1.
+    int imax = j;
+    float vmax = std::fabs(a[static_cast<std::size_t>(j) * n + j]);
+    for (int i = j + 1; i < n; ++i) {
+      float v = std::fabs(a[static_cast<std::size_t>(i) * n + j]);
+      if (v > vmax) {
+        vmax = v;
+        imax = i;
+      }
+    }
+    piv[j] = imax;
+    if (vmax == 0.0f) return 1 + j;
+    if (imax != j) {
+      for (int c = c0; c < c1; ++c)
+        std::swap(a[static_cast<std::size_t>(j) * n + c],
+                  a[static_cast<std::size_t>(imax) * n + c]);
+    }
+    float inv = 1.0f / a[static_cast<std::size_t>(j) * n + j];
+    for (int i = j + 1; i < n; ++i) {
+      float lij = a[static_cast<std::size_t>(i) * n + j] * inv;
+      a[static_cast<std::size_t>(i) * n + j] = lij;
+      for (int c = j + 1; c < c1; ++c)
+        a[static_cast<std::size_t>(i) * n + c] -=
+            lij * a[static_cast<std::size_t>(j) * n + c];
+    }
+  }
+  return 0;
+}
+
+/// Apply the recorded row swaps of panel [c0, c1) to columns [s0, s1).
+void apply_swaps(int n, float* a, const int* piv, int c0, int c1, int s0,
+                 int s1) {
+  for (int j = c0; j < c1; ++j) {
+    int imax = piv[j];
+    if (imax != j) {
+      for (int c = s0; c < s1; ++c)
+        std::swap(a[static_cast<std::size_t>(j) * n + c],
+                  a[static_cast<std::size_t>(imax) * n + c]);
+    }
+  }
+}
+
+/// Right-looking update of column stripe [s0, s1) after panel [c0, c1):
+/// row swaps, unit-lower triangular solve for the U rows, trailing GEMM.
+void update_stripe(int n, float* a, const int* piv, int c0, int c1, int s0,
+                   int s1) {
+  apply_swaps(n, a, piv, c0, c1, s0, s1);
+  // U block: rows c0..c1, columns s0..s1: solve L(c0:c1, c0:c1) X = A.
+  for (int i = c0; i < c1; ++i)
+    for (int k = c0; k < i; ++k) {
+      float lik = a[static_cast<std::size_t>(i) * n + k];
+      for (int c = s0; c < s1; ++c)
+        a[static_cast<std::size_t>(i) * n + c] -=
+            lik * a[static_cast<std::size_t>(k) * n + c];
+    }
+  // Trailing block: rows c1..n minus L(i, c0:c1) * U(c0:c1, s0:s1).
+  for (int i = c1; i < n; ++i)
+    for (int k = c0; k < c1; ++k) {
+      float lik = a[static_cast<std::size_t>(i) * n + k];
+      for (int c = s0; c < s1; ++c)
+        a[static_cast<std::size_t>(i) * n + c] -=
+            lik * a[static_cast<std::size_t>(k) * n + c];
+    }
+}
+
+}  // namespace
+
+int lu_seq(int n, float* a, int* piv) {
+  // Unblocked == one panel covering all columns.
+  return panel_factor(n, a, 0, n, piv);
+}
+
+int lu_smpss_regions(Runtime& rt, const LuTasks& tt, int n, float* a, int* piv,
+                     int bs) {
+  SMPSS_CHECK(n % bs == 0, "block size must divide the matrix size");
+  const int nb = n / bs;
+  std::atomic<int> err{0};
+
+  for (int k = 0; k < nb; ++k) {
+    const int c0 = k * bs, c1 = (k + 1) * bs;
+    // Panel: inout on rows c0..n-1 of its own columns, out on its pivots.
+    rt.spawn(tt.panel,
+             [n, c0, c1](float* base, int* pv, std::atomic<int>* e) {
+               if (int rc = panel_factor(n, base, c0, c1, pv); rc != 0) {
+                 int expected = 0;
+                 e->compare_exchange_strong(expected, rc,
+                                            std::memory_order_relaxed);
+               }
+             },
+             inout(a, Region{{Bound::closed(c0, n - 1),
+                              Bound::closed(c0, c1 - 1)}}),
+             out(piv, Region{{Bound::closed(c0, c1 - 1)}}),
+             opaque(&err));
+
+    // Left stripes: swap-only (keeps L rows consistent with the pivoting).
+    for (int s = 0; s < k; ++s) {
+      const int s0 = s * bs, s1 = (s + 1) * bs;
+      rt.spawn(tt.swap_left,
+               [n, c0, c1, s0, s1](float* base, const int* pv) {
+                 apply_swaps(n, base, pv, c0, c1, s0, s1);
+               },
+               inout(a, Region{{Bound::closed(c0, n - 1),
+                                Bound::closed(s0, s1 - 1)}}),
+               in(piv, Region{{Bound::closed(c0, c1 - 1)}}));
+    }
+
+    // Right stripes: swaps + triangular solve + trailing update. The read
+    // of the panel region and the inout of the stripe region give the RAW
+    // and WAW/WAR orderings against the panel and earlier updates.
+    for (int s = k + 1; s < nb; ++s) {
+      const int s0 = s * bs, s1 = (s + 1) * bs;
+      rt.spawn(tt.update,
+               [n, c0, c1, s0, s1](const float*, const int* pv, float* base) {
+                 update_stripe(n, base, pv, c0, c1, s0, s1);
+               },
+               in(a, Region{{Bound::closed(c0, n - 1),
+                             Bound::closed(c0, c1 - 1)}}),
+               in(piv, Region{{Bound::closed(c0, c1 - 1)}}),
+               inout(a, Region{{Bound::closed(c0, n - 1),
+                                Bound::closed(s0, s1 - 1)}}));
+    }
+  }
+  rt.barrier();
+  return err.load(std::memory_order_relaxed);
+}
+
+double lu_flops(int n) {
+  const double d = n;
+  return 2.0 * d * d * d / 3.0;
+}
+
+}  // namespace smpss::apps

@@ -1,0 +1,44 @@
+// LU decomposition with partial pivoting — the algorithm paper Sec. V uses
+// to motivate flat data and array regions: "It is usually implemented as an
+// in-place algorithm [...] the algorithm includes pivoting operations that
+// consist in swapping columns and swapping rows. Those two operations make
+// it hard to block."
+//
+// The SMPSs build here works directly on the flat matrix through 2-D array
+// regions (the Sec. V.A extension): a panel task factorizes one column
+// stripe (rows k*bs..n-1) and records its pivots; per-stripe update tasks
+// read the pivot region and the panel region, apply the row swaps inside
+// their own column stripe, and perform the triangular solve + trailing
+// update. All ordering falls out of region overlap (panel k+1's region
+// overlaps every stripe update of step k).
+//
+// Because pivot *values* are only known at execution time, nothing in the
+// decomposition depends on them — tasks carry the swaps with them. This is
+// the value-oblivious spawning discipline the whole programming model rests
+// on.
+#pragma once
+
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+struct LuTasks {
+  TaskType panel, update, swap_left;
+  static LuTasks register_in(Runtime& rt);
+};
+
+/// Sequential oracle: in-place LU with partial pivoting on a flat row-major
+/// n x n matrix. piv[j] = row swapped into position j at step j (LAPACK
+/// getf2 convention, 0-based). Returns 0, or 1+j if pivot j was exactly 0.
+int lu_seq(int n, float* a, int* piv);
+
+/// Region-based blocked right-looking LU with partial pivoting. `bs` must
+/// divide n. Produces the same factorization (identical pivots) as lu_seq
+/// up to floating-point reassociation. Returns 0 on success.
+int lu_smpss_regions(Runtime& rt, const LuTasks& tt, int n, float* a, int* piv,
+                     int bs);
+
+/// 2/3 n^3 flops.
+double lu_flops(int n);
+
+}  // namespace smpss::apps

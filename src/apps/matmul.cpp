@@ -1,0 +1,110 @@
+#include "apps/matmul.hpp"
+
+namespace smpss::apps {
+
+MatmulTasks MatmulTasks::register_in(Runtime& rt) {
+  MatmulTasks t;
+  t.sgemm = rt.register_task_type("sgemm_t");
+  t.get = rt.register_task_type("get_block");
+  t.put = rt.register_task_type("put_block");
+  return t;
+}
+
+void matmul_seq_flat(int n, const float* a, const float* b, float* c,
+                     const blas::Kernels& k) {
+  k.gemm_nn_acc(n, a, b, c);
+}
+
+void matmul_smpss_hyper(Runtime& rt, const MatmulTasks& tt,
+                        const HyperMatrix& A, const HyperMatrix& B,
+                        HyperMatrix& C, const blas::Kernels& k) {
+  const int nb = A.nblocks();
+  const int m = A.block_dim();
+  const std::size_t be = A.block_elems();
+  const blas::Kernels* kp = &k;
+  // Fig. 1: any ordering of the three nested loops is correct; "the
+  // programmer does not have to take care of what is the best task order".
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j)
+      for (int kk = 0; kk < nb; ++kk)
+        rt.spawn(tt.sgemm,
+                 [kp, m](const float* x, const float* y, float* z) {
+                   kp->gemm_nn_acc(m, x, y, z);
+                 },
+                 in(A.block(i, kk), be), in(B.block(kk, j), be),
+                 inout(C.block(i, j), be));
+  rt.barrier();
+}
+
+void matmul_smpss_sparse(Runtime& rt, const MatmulTasks& tt,
+                         const HyperMatrix& A, const HyperMatrix& B,
+                         HyperMatrix& C, const blas::Kernels& k) {
+  const int nb = A.nblocks();
+  const int m = A.block_dim();
+  const std::size_t be = A.block_elems();
+  const blas::Kernels* kp = &k;
+  // Fig. 3: "if (A[i][k] && B[k][j]) { if (C[i][j] == NULL) C[i][j] =
+  // alloc_block(); sgemm_t(...); }"
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j)
+      for (int kk = 0; kk < nb; ++kk)
+        if (A.present(i, kk) && B.present(kk, j)) {
+          float* cij = C.ensure_block(i, j);
+          rt.spawn(tt.sgemm,
+                   [kp, m](const float* x, const float* y, float* z) {
+                     kp->gemm_nn_acc(m, x, y, z);
+                   },
+                   in(A.block(i, kk), be), in(B.block(kk, j), be),
+                   inout(cij, be));
+        }
+  rt.barrier();
+}
+
+void matmul_smpss_flat(Runtime& rt, const MatmulTasks& tt, int n,
+                       const float* a, const float* b, float* c, int bs,
+                       const blas::Kernels& k) {
+  SMPSS_CHECK(n % bs == 0, "block size must divide the matrix size");
+  const int nb = n / bs;
+  const int m = bs;
+  const int lda = n;
+  const blas::Kernels* kp = &k;
+  HyperMatrix Ab(nb, m, false), Bb(nb, m, false), Cb(nb, m, false);
+  const std::size_t be = Ab.block_elems();
+
+  auto get_once = [&](HyperMatrix& H, const float* flat, int i, int j) {
+    if (H.present(i, j)) return;
+    float* blk = H.ensure_block(i, j);
+    rt.spawn(tt.get,
+             [m, lda](const float* f, const int& bi, const int& bj,
+                      float* dst) { get_block(bi, bj, m, lda, f, dst); },
+             opaque(flat), value(i), value(j), out(blk, be));
+  };
+
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j) {
+      // C starts from zero: allocate the accumulator block without a get.
+      float* cij = Cb.ensure_block(i, j);
+      for (int kk = 0; kk < nb; ++kk) {
+        get_once(Ab, a, i, kk);
+        get_once(Bb, b, kk, j);
+        rt.spawn(tt.sgemm,
+                 [kp, m](const float* x, const float* y, float* z) {
+                   kp->gemm_nn_acc(m, x, y, z);
+                 },
+                 in(Ab.block(i, kk), be), in(Bb.block(kk, j), be),
+                 inout(cij, be));
+      }
+      rt.spawn(tt.put,
+               [m, lda](const float* blk, const int& bi, const int& bj,
+                        float* flat) { put_block(bi, bj, m, lda, blk, flat); },
+               in(cij, be), value(i), value(j), opaque(c));
+    }
+  rt.barrier();
+}
+
+double matmul_flops(int n) {
+  const double d = n;
+  return 2.0 * d * d * d;
+}
+
+}  // namespace smpss::apps

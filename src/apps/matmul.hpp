@@ -1,0 +1,51 @@
+// Matrix multiplication C += A * B.
+//
+//  * smpss_hyper:   Fig. 1 — dense hyper-matrix multiply, "N^3 tasks
+//                   arranged as N^2 chains of N tasks".
+//  * smpss_sparse:  Fig. 3 — sparse variant: skip missing blocks, allocate
+//                   C blocks on demand.
+//  * smpss_flat:    the Fig. 12 transformation — flat matrices with
+//                   on-demand block copies (get/put tasks, opaque flats).
+//  * threaded:      row-panel parallel baseline (blas::ThreadedBlas).
+//  * seq_flat:      single-threaded oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/kernels.hpp"
+#include "hyper/hyper_matrix.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+struct MatmulTasks {
+  TaskType sgemm, get, put;
+  static MatmulTasks register_in(Runtime& rt);
+};
+
+/// Oracle: C += A * B on flat n x n matrices.
+void matmul_seq_flat(int n, const float* a, const float* b, float* c,
+                     const blas::Kernels& k);
+
+/// Fig. 1: dense hyper-matrix multiplication.
+void matmul_smpss_hyper(Runtime& rt, const MatmulTasks& tt,
+                        const HyperMatrix& A, const HyperMatrix& B,
+                        HyperMatrix& C, const blas::Kernels& k);
+
+/// Fig. 3: sparse hyper-matrix multiplication. Missing A/B blocks are
+/// treated as zero; C blocks are allocated when first written.
+void matmul_smpss_sparse(Runtime& rt, const MatmulTasks& tt,
+                         const HyperMatrix& A, const HyperMatrix& B,
+                         HyperMatrix& C, const blas::Kernels& k);
+
+/// Fig. 12 workload: flat row-major inputs, on-demand blocking. C must be
+/// zero-initialized (the result is written back block by block). `bs` must
+/// divide n.
+void matmul_smpss_flat(Runtime& rt, const MatmulTasks& tt, int n,
+                       const float* a, const float* b, float* c, int bs,
+                       const blas::Kernels& k);
+
+/// 2 n^3 flops.
+double matmul_flops(int n);
+
+}  // namespace smpss::apps

@@ -1,0 +1,384 @@
+#include "apps/multisort.hpp"
+
+#include <algorithm>
+
+#include "dep/representant.hpp"
+
+namespace smpss::apps {
+
+MultisortTasks MultisortTasks::register_in(Runtime& rt) {
+  MultisortTasks t;
+  t.seqquick = rt.register_task_type("seqquick");
+  t.seqmerge = rt.register_task_type("seqmerge");
+  return t;
+}
+
+// --- sequential primitives ----------------------------------------------------
+
+namespace {
+constexpr long kInsertionThreshold = 32;
+
+void insertion_sort(ELM* a, long lo, long hi) {
+  for (long i = lo + 1; i <= hi; ++i) {
+    ELM v = a[i];
+    long j = i - 1;
+    while (j >= lo && a[j] > v) {
+      a[j + 1] = a[j];
+      --j;
+    }
+    a[j + 1] = v;
+  }
+}
+
+ELM median3(ELM a, ELM b, ELM c) {
+  if (a < b) {
+    if (b < c) return b;
+    return a < c ? c : a;
+  }
+  if (a < c) return a;
+  return b < c ? c : b;
+}
+}  // namespace
+
+void seqquick(ELM* data, long i, long j) {
+  while (j - i > kInsertionThreshold) {
+    ELM pivot = median3(data[i], data[(i + j) / 2], data[j]);
+    long lo = i, hi = j;
+    while (lo <= hi) {
+      while (data[lo] < pivot) ++lo;
+      while (data[hi] > pivot) --hi;
+      if (lo <= hi) {
+        std::swap(data[lo], data[hi]);
+        ++lo;
+        --hi;
+      }
+    }
+    // Recurse into the smaller side, iterate on the larger (O(log n) stack).
+    if (hi - i < j - lo) {
+      if (i < hi) seqquick(data, i, hi);
+      i = lo;
+    } else {
+      if (lo < j) seqquick(data, lo, j);
+      j = hi;
+    }
+  }
+  insertion_sort(data, i, j);
+}
+
+void seqmerge(const ELM* data, long i1, long j1, long i2, long j2, ELM* dest) {
+  long a = i1, b = i2, o = i1;
+  while (a <= j1 && b <= j2) dest[o++] = data[a] <= data[b] ? data[a++] : data[b++];
+  while (a <= j1) dest[o++] = data[a++];
+  while (b <= j2) dest[o++] = data[b++];
+}
+
+long co_rank(long t, const ELM* a, long la, const ELM* b, long lb) {
+  // Find ia in [max(0, t-lb), min(t, la)] with ib = t - ia such that
+  // a[ia-1] <= b[ib] and b[ib-1] < a[ia] (treating out-of-range as +/-inf).
+  long lo = std::max<long>(0, t - lb);
+  long hi = std::min(t, la);
+  while (lo < hi) {
+    long ia = lo + (hi - lo) / 2;
+    long ib = t - ia;
+    if (ia < la && ib > 0 && b[ib - 1] > a[ia]) {
+      lo = ia + 1;  // need more of a
+    } else if (ia > 0 && ib < lb && a[ia - 1] > b[ib]) {
+      hi = ia;      // need less of a
+    } else {
+      return ia;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// Merge output positions [t0, t1) (relative to the merged sequence) of
+/// merge(a[0..la), b[0..lb)) into out[t0..t1). Inputs must be sorted.
+void merge_piece(const ELM* a, long la, const ELM* b, long lb, long t0,
+                 long t1, ELM* out) {
+  long ia = co_rank(t0, a, la, b, lb);
+  long ib = t0 - ia;
+  long ja = co_rank(t1, a, la, b, lb);
+  long jb = t1 - ja;
+  long o = t0;
+  while (ia < ja && ib < jb)
+    out[o++] = a[ia] <= b[ib] ? a[ia++] : b[ib++];
+  while (ia < ja) out[o++] = a[ia++];
+  while (ib < jb) out[o++] = b[ib++];
+}
+
+struct Quarters {
+  long i1, j1, i2, j2, i3, j3, i4, j4;
+};
+
+Quarters split4(long i, long j) {
+  long size = j - i + 1;
+  long q = size / 4;
+  Quarters s;
+  s.i1 = i;           s.j1 = i + q - 1;
+  s.i2 = i + q;       s.j2 = i + 2 * q - 1;
+  s.i3 = i + 2 * q;   s.j3 = i + 3 * q - 1;
+  s.i4 = i + 3 * q;   s.j4 = j;
+  return s;
+}
+
+}  // namespace
+
+// --- sequential multisort -------------------------------------------------------
+
+namespace {
+void seq_sort_rec(ELM* data, ELM* tmp, long i, long j, long quick_size) {
+  long size = j - i + 1;
+  if (size < quick_size || size < 8) {
+    seqquick(data, i, j);
+    return;
+  }
+  Quarters q = split4(i, j);
+  seq_sort_rec(data, tmp, q.i1, q.j1, quick_size);
+  seq_sort_rec(data, tmp, q.i2, q.j2, quick_size);
+  seq_sort_rec(data, tmp, q.i3, q.j3, quick_size);
+  seq_sort_rec(data, tmp, q.i4, q.j4, quick_size);
+  seqmerge(data, q.i1, q.j1, q.i2, q.j2, tmp);
+  seqmerge(data, q.i3, q.j3, q.i4, q.j4, tmp);
+  seqmerge(tmp, q.i1, q.j2, q.i3, q.j4, data);
+}
+}  // namespace
+
+void multisort_seq(ELM* data, ELM* tmp, long n, long quick_size) {
+  seq_sort_rec(data, tmp, 0, n - 1, quick_size);
+}
+
+// --- SMPSs with array regions (Sec. V.A + Sec. VI.D) ---------------------------
+
+namespace {
+
+struct RegionCtx {
+  Runtime& rt;
+  const MultisortTasks& tt;
+  ELM* data;
+  ELM* tmp;
+  long n;
+  long quick_size;
+  long merge_size;
+
+  /// Divide-and-conquer merge: src[i1..j1] and src[i2..j2] -> dst[i1..j2],
+  /// decomposed by output chunks ("calls a recursive merge function that
+  /// ends up calling [the seqmerge] task when the operated range is small
+  /// enough", Sec. VI.D). Region analysis keys on the base pointer, so every
+  /// access names the array base (`src`/`dst`) with absolute-index regions —
+  /// the paper's `data{i1..j1}` syntax rendered literally. The task function
+  /// receives the base once per region (as the pragma's repeated parameter
+  /// would) and applies the offsets itself.
+  void emit_merge(ELM* src, ELM* dst, long i1, long j1, long i2, long j2) {
+    const long la = j1 - i1 + 1;
+    const long lb = j2 - i2 + 1;
+    const long total = la + lb;
+    for (long t0 = 0; t0 < total; t0 += merge_size) {
+      long t1 = std::min(total, t0 + merge_size);
+      // Reads: both run regions. Write: one disjoint output chunk.
+      rt.spawn(tt.seqmerge,
+               [i1, la, i2, lb, t0, t1](const ELM* s, const ELM*, ELM* d) {
+                 merge_piece(s + i1, la, s + i2, lb, t0, t1, d + i1);
+               },
+               in(src, Region{{Bound::closed(i1, j1)}}),
+               in(src, Region{{Bound::closed(i2, j2)}}),
+               out(dst, Region{{Bound::closed(i1 + t0, i1 + t1 - 1)}}));
+    }
+  }
+
+  void sort_rec(long i, long j) {
+    long size = j - i + 1;
+    if (size < quick_size || size < 8) {
+      rt.spawn(tt.seqquick,
+               [i, j](ELM* d) { seqquick(d, i, j); },
+               inout(data, Region{{Bound::closed(i, j)}}));
+      return;
+    }
+    Quarters q = split4(i, j);
+    sort_rec(q.i1, q.j1);
+    sort_rec(q.i2, q.j2);
+    sort_rec(q.i3, q.j3);
+    sort_rec(q.i4, q.j4);
+    emit_merge(data, tmp, q.i1, q.j1, q.i2, q.j2);
+    emit_merge(data, tmp, q.i3, q.j3, q.i4, q.j4);
+    emit_merge(tmp, data, q.i1, q.j2, q.i3, q.j4);
+  }
+};
+
+}  // namespace
+
+void multisort_smpss_regions(Runtime& rt, const MultisortTasks& tt, ELM* data,
+                             ELM* tmp, long n, long quick_size,
+                             long merge_size) {
+  RegionCtx ctx{rt, tt, data, tmp, n, quick_size, merge_size};
+  ctx.sort_rec(0, n - 1);
+  rt.barrier();
+}
+
+// --- SMPSs with representants (Sec. V.B) ----------------------------------------
+
+namespace {
+
+struct ReprCtx {
+  Runtime& rt;
+  const MultisortTasks& tt;
+  ELM* data;
+  ELM* tmp;
+  long quick_size;
+  RepresentantPool nodes;  // one representant per sort-tree node (Sec. V.B)
+
+  char* fresh() { return nodes.fresh(); }
+
+  /// Returns the representant that stands for "data[i..j] is sorted".
+  char* sort_rec(long i, long j) {
+    long size = j - i + 1;
+    if (size < quick_size || size < 8) {
+      char* r = fresh();
+      rt.spawn(tt.seqquick,
+               [i, j](ELM* d, char*) { seqquick(d, i, j); },
+               opaque(data), out(r));
+      return r;
+    }
+    Quarters q = split4(i, j);
+    char* r1 = sort_rec(q.i1, q.j1);
+    char* r2 = sort_rec(q.i2, q.j2);
+    char* r3 = sort_rec(q.i3, q.j3);
+    char* r4 = sort_rec(q.i4, q.j4);
+    // Fig. 7 shape: three whole-node merges. Dependencies flow through the
+    // representants; the data/tmp pointers are opaque.
+    char* m1 = fresh();
+    char* m2 = fresh();
+    char* mp = fresh();
+    ELM* d = data;
+    ELM* t = tmp;
+    rt.spawn(tt.seqmerge,
+             [q](const ELM* src, ELM* dst, const char*, const char*, char*) {
+               seqmerge(src, q.i1, q.j1, q.i2, q.j2, dst);
+             },
+             opaque(static_cast<const ELM*>(d)), opaque(t), in(r1), in(r2),
+             out(m1));
+    rt.spawn(tt.seqmerge,
+             [q](const ELM* src, ELM* dst, const char*, const char*, char*) {
+               seqmerge(src, q.i3, q.j3, q.i4, q.j4, dst);
+             },
+             opaque(static_cast<const ELM*>(d)), opaque(t), in(r3), in(r4),
+             out(m2));
+    rt.spawn(tt.seqmerge,
+             [q](const ELM* src, ELM* dst, const char*, const char*, char*) {
+               seqmerge(src, q.i1, q.j2, q.i3, q.j4, dst);
+             },
+             opaque(static_cast<const ELM*>(t)), opaque(d), in(m1), in(m2),
+             out(mp));
+    return mp;
+  }
+};
+
+}  // namespace
+
+void multisort_smpss_repr(Runtime& rt, const MultisortTasks& tt, ELM* data,
+                          ELM* tmp, long n, long quick_size) {
+  ReprCtx ctx{rt, tt, data, tmp, quick_size, {}};
+  ctx.sort_rec(0, n - 1);
+  rt.barrier();  // ctx.nodes must outlive all tasks
+}
+
+// --- Cilk-like baseline -----------------------------------------------------------
+
+namespace {
+
+void fj_merge(fj::Context& ctx, const ELM* a, long la, const ELM* b, long lb,
+              ELM* out, long t0, long t1, long merge_size) {
+  if (t1 - t0 <= merge_size) {
+    merge_piece(a, la, b, lb, t0, t1, out);
+    return;
+  }
+  long mid = (t0 + t1) / 2;
+  ctx.spawn([=](fj::Context& c) { fj_merge(c, a, la, b, lb, out, t0, mid, merge_size); });
+  ctx.spawn([=](fj::Context& c) { fj_merge(c, a, la, b, lb, out, mid, t1, merge_size); });
+  ctx.sync();
+}
+
+void fj_sort(fj::Context& ctx, ELM* data, ELM* tmp, long i, long j,
+             long quick_size, long merge_size) {
+  long size = j - i + 1;
+  if (size < quick_size || size < 8) {
+    seqquick(data, i, j);
+    return;
+  }
+  Quarters q = split4(i, j);
+  ctx.spawn([=](fj::Context& c) { fj_sort(c, data, tmp, q.i1, q.j1, quick_size, merge_size); });
+  ctx.spawn([=](fj::Context& c) { fj_sort(c, data, tmp, q.i2, q.j2, quick_size, merge_size); });
+  ctx.spawn([=](fj::Context& c) { fj_sort(c, data, tmp, q.i3, q.j3, quick_size, merge_size); });
+  fj_sort(ctx, data, tmp, q.i4, q.j4, quick_size, merge_size);
+  ctx.sync();
+  ctx.spawn([=](fj::Context& c) {
+    fj_merge(c, data + q.i1, q.j1 - q.i1 + 1, data + q.i2, q.j2 - q.i2 + 1,
+             tmp + q.i1, 0, q.j2 - q.i1 + 1, merge_size);
+  });
+  fj_merge(ctx, data + q.i3, q.j3 - q.i3 + 1, data + q.i4, q.j4 - q.i4 + 1,
+           tmp + q.i3, 0, q.j4 - q.i3 + 1, merge_size);
+  ctx.sync();
+  fj_merge(ctx, tmp + q.i1, q.j2 - q.i1 + 1, tmp + q.i3, q.j4 - q.i3 + 1,
+           data + q.i1, 0, q.j4 - q.i1 + 1, merge_size);
+  ctx.sync();
+}
+
+}  // namespace
+
+void multisort_fj(fj::Scheduler& s, ELM* data, ELM* tmp, long n,
+                  long quick_size, long merge_size) {
+  s.run_root([&](fj::Context& ctx) {
+    fj_sort(ctx, data, tmp, 0, n - 1, quick_size, merge_size);
+  });
+}
+
+// --- OpenMP-3-like baseline ---------------------------------------------------------
+
+namespace {
+
+void omp3_merge(omp3::TaskPool& p, const ELM* a, long la, const ELM* b,
+                long lb, ELM* out, long t0, long t1, long merge_size) {
+  if (t1 - t0 <= merge_size) {
+    merge_piece(a, la, b, lb, t0, t1, out);
+    return;
+  }
+  long mid = (t0 + t1) / 2;
+  p.task([=, &p] { omp3_merge(p, a, la, b, lb, out, t0, mid, merge_size); });
+  p.task([=, &p] { omp3_merge(p, a, la, b, lb, out, mid, t1, merge_size); });
+  p.taskwait();
+}
+
+void omp3_sort(omp3::TaskPool& p, ELM* data, ELM* tmp, long i, long j,
+               long quick_size, long merge_size) {
+  long size = j - i + 1;
+  if (size < quick_size || size < 8) {
+    seqquick(data, i, j);
+    return;
+  }
+  Quarters q = split4(i, j);
+  p.task([=, &p] { omp3_sort(p, data, tmp, q.i1, q.j1, quick_size, merge_size); });
+  p.task([=, &p] { omp3_sort(p, data, tmp, q.i2, q.j2, quick_size, merge_size); });
+  p.task([=, &p] { omp3_sort(p, data, tmp, q.i3, q.j3, quick_size, merge_size); });
+  omp3_sort(p, data, tmp, q.i4, q.j4, quick_size, merge_size);
+  p.taskwait();
+  p.task([=, &p] {
+    omp3_merge(p, data + q.i1, q.j1 - q.i1 + 1, data + q.i2, q.j2 - q.i2 + 1,
+               tmp + q.i1, 0, q.j2 - q.i1 + 1, merge_size);
+  });
+  omp3_merge(p, data + q.i3, q.j3 - q.i3 + 1, data + q.i4, q.j4 - q.i4 + 1,
+             tmp + q.i3, 0, q.j4 - q.i3 + 1, merge_size);
+  p.taskwait();
+  omp3_merge(p, tmp + q.i1, q.j2 - q.i1 + 1, tmp + q.i3, q.j4 - q.i3 + 1,
+             data + q.i1, 0, q.j4 - q.i1 + 1, merge_size);
+  p.taskwait();
+}
+
+}  // namespace
+
+void multisort_omp3(omp3::TaskPool& p, ELM* data, ELM* tmp, long n,
+                    long quick_size, long merge_size) {
+  p.run_root([&] { omp3_sort(p, data, tmp, 0, n - 1, quick_size, merge_size); });
+}
+
+}  // namespace smpss::apps

@@ -1,0 +1,64 @@
+// Multisort (paper Fig. 7 and Sec. VI.D): mergesort that splits into four
+// subarrays per recursion step, sorts leaves with quicksort, and merges with
+// a divide-and-conquer parallel merge (after Akl & Santoro, the paper's
+// ref. [16]: the merge is decomposed by *output position*, each piece
+// locating its input segments by co-ranking — value-oblivious at spawn time,
+// which is exactly what a main-thread-spawning model needs).
+//
+// Variants:
+//  * smpss_regions: the Sec. V.A array-region build — seqquick tasks take
+//    `inout(data{i..j})`, merge pieces read both run regions and write one
+//    output chunk region.
+//  * smpss_repr:    the Sec. V.B representant build — Fig. 7 shape, one
+//    representant per sort-tree node, data arrays passed as opaque pointers.
+//  * fj / omp3:     Cilk-like and OpenMP-3-like baselines (Fig. 14 curves).
+//  * seq:           the same decomposition run inline (Fig. 14's baseline).
+#pragma once
+
+#include "baselines/forkjoin/forkjoin.hpp"
+#include "baselines/taskpool/taskpool.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+using ELM = long;  // the Cilk distribution's element type
+
+struct MultisortTasks {
+  TaskType seqquick, seqmerge;
+  static MultisortTasks register_in(Runtime& rt);
+};
+
+/// Sequential quicksort of data[i..j] inclusive (median-of-three, insertion
+/// sort below a threshold). Exposed for tests.
+void seqquick(ELM* data, long i, long j);
+
+/// Merge sorted data[i1..j1] and data[i2..j2] into dest starting at dest[i1]
+/// (the seqmerge task of Fig. 7). Exposed for tests.
+void seqmerge(const ELM* data, long i1, long j1, long i2, long j2, ELM* dest);
+
+/// Co-rank: number of elements of a (length la) among the first `t` of the
+/// merge of a and b (length lb). Exposed for property tests.
+long co_rank(long t, const ELM* a, long la, const ELM* b, long lb);
+
+/// Sequential multisort (same recursion, inline).
+void multisort_seq(ELM* data, ELM* tmp, long n, long quick_size);
+
+/// SMPSs with array regions; merges split into output chunks of at most
+/// `merge_size` elements.
+void multisort_smpss_regions(Runtime& rt, const MultisortTasks& tt, ELM* data,
+                             ELM* tmp, long n, long quick_size,
+                             long merge_size);
+
+/// SMPSs with representants (Fig. 7 shape: whole-node merges).
+void multisort_smpss_repr(Runtime& rt, const MultisortTasks& tt, ELM* data,
+                          ELM* tmp, long n, long quick_size);
+
+/// Cilk-like baseline.
+void multisort_fj(fj::Scheduler& s, ELM* data, ELM* tmp, long n,
+                  long quick_size, long merge_size);
+
+/// OpenMP-3-like baseline.
+void multisort_omp3(omp3::TaskPool& p, ELM* data, ELM* tmp, long n,
+                    long quick_size, long merge_size);
+
+}  // namespace smpss::apps

@@ -1,0 +1,47 @@
+// N-Queens (paper Sec. VI.E): count the placements of N queens on an N x N
+// board so that no two attack each other.
+//
+// The paper's point is the partial-solution array: "the OpenMP 3.0 tasking
+// version and the Cilk version [...] require allocating a copy of the
+// partial solution array so that tasks at the same recursion level do not
+// overwrite each other's partial solutions. Like the sequential version,
+// SMPSs does not require duplicating the partial solution array by hand. The
+// runtime takes care of it by renaming the array as needed."
+//
+// Realization here: SMPSs has no recursive tasks, so the prefix levels are
+// expanded by the main thread ("the queens function is decomposed
+// recursively until the last 4 levels, and those are handled by tasks").
+// Board-cell writes go through tiny inout `set` tasks — the runtime renames
+// the board whenever pending readers exist, i.e. it performs exactly the
+// per-sibling copies the other models need by hand. Leaf counting tasks read
+// the board version their branch produced and accumulate into an opaque
+// atomic counter. The fj/omp3 baselines copy the board manually, as the
+// paper describes; the sequential version uses a single board.
+#pragma once
+
+#include "baselines/forkjoin/forkjoin.hpp"
+#include "baselines/taskpool/taskpool.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+struct NQueensTasks {
+  TaskType set, solve;
+  static NQueensTasks register_in(Runtime& rt);
+};
+
+/// Sequential oracle: single board, full recursion, no copies.
+long nqueens_seq(int n);
+
+/// SMPSs version; the last `task_depth` recursion levels run inside tasks.
+long nqueens_smpss(Runtime& rt, const NQueensTasks& tt, int n, int task_depth);
+
+/// Cilk-like baseline: one task per node, each with its own board copy,
+/// fully recursive ("the Cilk version is totally recursive").
+long nqueens_fj(fj::Scheduler& s, int n, int task_depth);
+
+/// OpenMP-3-like baseline: nested tasks with per-task board copies; the
+/// last `task_depth` levels run sequentially inside one task.
+long nqueens_omp3(omp3::TaskPool& p, int n, int task_depth);
+
+}  // namespace smpss::apps

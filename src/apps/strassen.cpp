@@ -1,0 +1,261 @@
+#include "apps/strassen.hpp"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace smpss::apps {
+
+StrassenTasks StrassenTasks::register_in(Runtime& rt) {
+  StrassenTasks t;
+  t.mul = rt.register_task_type("sgemm_t");
+  t.add = rt.register_task_type("sadd_t");
+  t.sub = rt.register_task_type("ssub_t");
+  t.acc = rt.register_task_type("sacc_t");
+  return t;
+}
+
+namespace {
+
+/// A square window into a hyper-matrix, in block coordinates.
+struct View {
+  HyperMatrix* h;
+  int i0, j0, n;
+  float* block(int i, int j) const { return h->block(i0 + i, j0 + j); }
+  View quad(int qi, int qj) const {
+    return View{h, i0 + qi * (n / 2), j0 + qj * (n / 2), n / 2};
+  }
+};
+
+// Element-wise block bodies beyond the Kernels set.
+void body_acc_add(int m, const float* a, float* c) {
+  for (int i = 0; i < m * m; ++i) c[i] += a[i];
+}
+void body_acc_sub(int m, const float* a, float* c) {
+  for (int i = 0; i < m * m; ++i) c[i] -= a[i];
+}
+void body_mul_overwrite(int m, const blas::Kernels* k, const float* a,
+                        const float* b, float* c) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * m);
+  k->gemm_nn_acc(m, a, b, c);
+}
+
+struct Ctx {
+  Runtime& rt;
+  const StrassenTasks& tt;
+  const blas::Kernels* k;
+  int m;                 // block dimension
+  std::size_t be;        // block element count
+  std::vector<std::unique_ptr<HyperMatrix>> arena;  // temps live to barrier
+
+  View fresh(int n) {
+    arena.push_back(std::make_unique<HyperMatrix>(n, m, true));
+    return View{arena.back().get(), 0, 0, n};
+  }
+
+  /// dst = a + b (block-wise tasks).
+  void emit_add(const View& a, const View& b, const View& dst) {
+    const blas::Kernels* kp = k;
+    int mm = m;
+    for (int i = 0; i < a.n; ++i)
+      for (int j = 0; j < a.n; ++j)
+        rt.spawn(tt.add,
+                 [kp, mm](const float* x, const float* y, float* z) {
+                   kp->add(mm, x, y, z);
+                 },
+                 in(a.block(i, j), be), in(b.block(i, j), be),
+                 out(dst.block(i, j), be));
+  }
+
+  /// dst = a - b.
+  void emit_sub(const View& a, const View& b, const View& dst) {
+    const blas::Kernels* kp = k;
+    int mm = m;
+    for (int i = 0; i < a.n; ++i)
+      for (int j = 0; j < a.n; ++j)
+        rt.spawn(tt.sub,
+                 [kp, mm](const float* x, const float* y, float* z) {
+                   kp->sub(mm, x, y, z);
+                 },
+                 in(a.block(i, j), be), in(b.block(i, j), be),
+                 out(dst.block(i, j), be));
+  }
+
+  /// dst += a  /  dst -= a.
+  void emit_acc(const View& a, const View& dst, bool negate) {
+    int mm = m;
+    for (int i = 0; i < a.n; ++i)
+      for (int j = 0; j < a.n; ++j) {
+        if (negate) {
+          rt.spawn(tt.acc,
+                   [mm](const float* x, float* z) { body_acc_sub(mm, x, z); },
+                   in(a.block(i, j), be), inout(dst.block(i, j), be));
+        } else {
+          rt.spawn(tt.acc,
+                   [mm](const float* x, float* z) { body_acc_add(mm, x, z); },
+                   in(a.block(i, j), be), inout(dst.block(i, j), be));
+        }
+      }
+  }
+
+  void recurse(const View& A, const View& B, const View& C) {
+    if (A.n == 1) {
+      const blas::Kernels* kp = k;
+      int mm = m;
+      rt.spawn(tt.mul,
+               [kp, mm](const float* x, const float* y, float* z) {
+                 body_mul_overwrite(mm, kp, x, y, z);
+               },
+               in(A.block(0, 0), be), in(B.block(0, 0), be),
+               out(C.block(0, 0), be));
+      return;
+    }
+    const int h = A.n / 2;
+    View A11 = A.quad(0, 0), A12 = A.quad(0, 1), A21 = A.quad(1, 0),
+         A22 = A.quad(1, 1);
+    View B11 = B.quad(0, 0), B12 = B.quad(0, 1), B21 = B.quad(1, 0),
+         B22 = B.quad(1, 1);
+    View C11 = C.quad(0, 0), C12 = C.quad(0, 1), C21 = C.quad(1, 0),
+         C22 = C.quad(1, 1);
+
+    // Only two operand temporaries, reused across all seven products: the
+    // renaming-intensive structure Sec. VI.C describes. The product results
+    // must coexist, so M1..M7 are distinct.
+    View tS = fresh(h), tT = fresh(h);
+    View M1 = fresh(h), M2 = fresh(h), M3 = fresh(h), M4 = fresh(h),
+         M5 = fresh(h), M6 = fresh(h), M7 = fresh(h);
+
+    emit_add(A11, A22, tS);  // M1 = (A11+A22)(B11+B22)
+    emit_add(B11, B22, tT);
+    recurse(tS, tT, M1);
+    emit_add(A21, A22, tS);  // M2 = (A21+A22) B11      (tS reused: rename)
+    recurse(tS, B11, M2);
+    emit_sub(B12, B22, tT);  // M3 = A11 (B12-B22)      (tT reused: rename)
+    recurse(A11, tT, M3);
+    emit_sub(B21, B11, tT);  // M4 = A22 (B21-B11)
+    recurse(A22, tT, M4);
+    emit_add(A11, A12, tS);  // M5 = (A11+A12) B22
+    recurse(tS, B22, M5);
+    emit_sub(A21, A11, tS);  // M6 = (A21-A11)(B11+B12)
+    emit_add(B11, B12, tT);
+    recurse(tS, tT, M6);
+    emit_sub(A12, A22, tS);  // M7 = (A12-A22)(B21+B22)
+    emit_add(B21, B22, tT);
+    recurse(tS, tT, M7);
+
+    emit_add(M1, M4, C11);   // C11 = M1 + M4 - M5 + M7
+    emit_acc(M5, C11, /*negate=*/true);
+    emit_acc(M7, C11, /*negate=*/false);
+    emit_add(M3, M5, C12);   // C12 = M3 + M5
+    emit_add(M2, M4, C21);   // C21 = M2 + M4
+    emit_sub(M1, M2, C22);   // C22 = M1 - M2 + M3 + M6
+    emit_acc(M3, C22, /*negate=*/false);
+    emit_acc(M6, C22, /*negate=*/false);
+  }
+};
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+void strassen_smpss(Runtime& rt, const StrassenTasks& tt, HyperMatrix& A,
+                    HyperMatrix& B, HyperMatrix& C, const blas::Kernels& k) {
+  SMPSS_CHECK(is_pow2(A.nblocks()), "Strassen needs a power-of-two block grid");
+  Ctx ctx{rt, tt, &k, A.block_dim(), A.block_elems(), {}};
+  ctx.recurse(View{&A, 0, 0, A.nblocks()}, View{&B, 0, 0, B.nblocks()},
+              View{&C, 0, 0, C.nblocks()});
+  rt.barrier();  // temps in ctx.arena stay alive until here
+}
+
+namespace {
+void seq_rec(const View& A, const View& B, const View& C,
+             const blas::Kernels& k, int m,
+             std::vector<std::unique_ptr<HyperMatrix>>& arena);
+
+void seq_binop(const View& a, const View& b, const View& d,
+               const blas::Kernels& k, int m, bool add_op) {
+  for (int i = 0; i < a.n; ++i)
+    for (int j = 0; j < a.n; ++j) {
+      if (add_op)
+        k.add(m, a.block(i, j), b.block(i, j), d.block(i, j));
+      else
+        k.sub(m, a.block(i, j), b.block(i, j), d.block(i, j));
+    }
+}
+void seq_acc(const View& a, const View& d, int m, bool negate) {
+  for (int i = 0; i < a.n; ++i)
+    for (int j = 0; j < a.n; ++j) {
+      if (negate)
+        body_acc_sub(m, a.block(i, j), d.block(i, j));
+      else
+        body_acc_add(m, a.block(i, j), d.block(i, j));
+    }
+}
+
+void seq_rec(const View& A, const View& B, const View& C,
+             const blas::Kernels& k, int m,
+             std::vector<std::unique_ptr<HyperMatrix>>& arena) {
+  if (A.n == 1) {
+    body_mul_overwrite(m, &k, A.block(0, 0), B.block(0, 0), C.block(0, 0));
+    return;
+  }
+  const int h = A.n / 2;
+  auto fresh = [&](int n) {
+    arena.push_back(std::make_unique<HyperMatrix>(n, m, true));
+    return View{arena.back().get(), 0, 0, n};
+  };
+  View A11 = A.quad(0, 0), A12 = A.quad(0, 1), A21 = A.quad(1, 0),
+       A22 = A.quad(1, 1);
+  View B11 = B.quad(0, 0), B12 = B.quad(0, 1), B21 = B.quad(1, 0),
+       B22 = B.quad(1, 1);
+  View C11 = C.quad(0, 0), C12 = C.quad(0, 1), C21 = C.quad(1, 0),
+       C22 = C.quad(1, 1);
+  View tS = fresh(h), tT = fresh(h);
+  View M1 = fresh(h), M2 = fresh(h), M3 = fresh(h), M4 = fresh(h),
+       M5 = fresh(h), M6 = fresh(h), M7 = fresh(h);
+  seq_binop(A11, A22, tS, k, m, true);
+  seq_binop(B11, B22, tT, k, m, true);
+  seq_rec(tS, tT, M1, k, m, arena);
+  seq_binop(A21, A22, tS, k, m, true);
+  seq_rec(tS, B11, M2, k, m, arena);
+  seq_binop(B12, B22, tT, k, m, false);
+  seq_rec(A11, tT, M3, k, m, arena);
+  seq_binop(B21, B11, tT, k, m, false);
+  seq_rec(A22, tT, M4, k, m, arena);
+  seq_binop(A11, A12, tS, k, m, true);
+  seq_rec(tS, B22, M5, k, m, arena);
+  seq_binop(A21, A11, tS, k, m, false);
+  seq_binop(B11, B12, tT, k, m, true);
+  seq_rec(tS, tT, M6, k, m, arena);
+  seq_binop(A12, A22, tS, k, m, false);
+  seq_binop(B21, B22, tT, k, m, true);
+  seq_rec(tS, tT, M7, k, m, arena);
+  seq_binop(M1, M4, C11, k, m, true);
+  seq_acc(M5, C11, m, true);
+  seq_acc(M7, C11, m, false);
+  seq_binop(M3, M5, C12, k, m, true);
+  seq_binop(M2, M4, C21, k, m, true);
+  seq_binop(M1, M2, C22, k, m, false);
+  seq_acc(M3, C22, m, false);
+  seq_acc(M6, C22, m, false);
+}
+}  // namespace
+
+void strassen_seq(HyperMatrix& A, HyperMatrix& B, HyperMatrix& C,
+                  const blas::Kernels& k) {
+  SMPSS_CHECK(is_pow2(A.nblocks()), "Strassen needs a power-of-two block grid");
+  std::vector<std::unique_ptr<HyperMatrix>> arena;
+  seq_rec(View{&A, 0, 0, A.nblocks()}, View{&B, 0, 0, B.nblocks()},
+          View{&C, 0, 0, C.nblocks()}, k, A.block_dim(), arena);
+}
+
+double strassen_flops(int nb, int m) {
+  if (nb == 1) {
+    const double d = m;
+    return 2.0 * d * d * d;
+  }
+  const double half = static_cast<double>(nb) / 2.0 * m;
+  return 7.0 * strassen_flops(nb / 2, m) + 18.0 * half * half;
+}
+
+}  // namespace smpss::apps

@@ -1,0 +1,84 @@
+#include "baselines/forkjoin/forkjoin.hpp"
+
+#include "common/spin.hpp"
+
+namespace smpss::fj {
+
+Scheduler::Scheduler(unsigned nthreads) {
+  if (nthreads == 0) nthreads = 1;
+  deques_.reserve(nthreads);
+  rngs_.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    deques_.push_back(std::make_unique<ChaseLevDeque<detail::TaskBase>>());
+    rngs_.emplace_back(0xF02C + i);
+  }
+  threads_.reserve(nthreads - 1);
+  for (unsigned tid = 1; tid < nthreads; ++tid)
+    threads_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  gate_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+detail::TaskBase* Scheduler::acquire(unsigned tid) {
+  if (detail::TaskBase* t = deques_[tid]->pop_bottom()) return t;
+  const unsigned n = nthreads();
+  for (unsigned i = 1; i < n; ++i) {
+    unsigned victim = (tid + i) % n;
+    if (detail::TaskBase* t = deques_[victim]->steal_top()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::run_task(detail::TaskBase* t, unsigned tid) {
+  Context ctx(*this, tid);
+  t->execute(ctx);
+  ctx.sync();  // implicit sync at task end, as Cilk requires before return
+  t->join->fetch_sub(1, std::memory_order_acq_rel);
+  gate_.notify_all();  // a parent may be sleeping in sync()
+  delete t;
+}
+
+void Scheduler::worker_loop(unsigned tid) {
+  unsigned failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (detail::TaskBase* t = acquire(tid)) {
+      run_task(t, tid);
+      failures = 0;
+      continue;
+    }
+    if (++failures < 64) {
+      cpu_relax();
+      continue;
+    }
+    std::uint64_t seen = gate_.prepare_wait();
+    if (detail::TaskBase* t = acquire(tid)) {
+      run_task(t, tid);
+      failures = 0;
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    gate_.wait(seen, std::chrono::microseconds(500));
+    failures = 0;
+  }
+}
+
+void Context::sync() {
+  Backoff backoff;
+  while (pending_children_.load(std::memory_order_acquire) > 0) {
+    if (detail::TaskBase* t = sched_.acquire(tid_)) {
+      sched_.run_task(t, tid_);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+}  // namespace smpss::fj

@@ -1,0 +1,121 @@
+// A Cilk-like fork-join runtime — the "Cilk" comparison curves of the
+// paper's Figs. 14-16, rebuilt from scratch.
+//
+// Like Cilk 5 (Frigo et al., PLDI'98) it uses per-worker deques: the owner
+// works LIFO at the bottom, thieves steal FIFO at the top ("in Cilk
+// work-stealing is done in FIFO order to steal tasks as big as possible").
+// Unlike SMPSs there is no dependency analysis: the only synchronization is
+// sync(), which waits for the children spawned by the current frame — the
+// programmer must place it "before exiting a task in order to wait for the
+// results of its sibling tasks" (Sec. VII.D), and any data renaming (e.g.
+// N-Queens board copies) must be done by hand.
+//
+// Implementation note: this is a child-stealing scheduler (the spawned
+// closure goes on the deque and the parent continues), not Cilk's
+// continuation-stealing — the scheduling order differs but the available
+// parallelism and deque discipline are the same, which is what the
+// comparison needs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sched/chase_lev_deque.hpp"
+#include "sched/idle_wait.hpp"
+
+namespace smpss::fj {
+
+class Scheduler;
+
+/// Execution context of one task frame. spawn() forks a child; sync() waits
+/// for all children of this frame, helping execute work meanwhile.
+class Context {
+ public:
+  template <typename F>
+  void spawn(F&& fn);
+
+  void sync();
+
+  Scheduler& scheduler() const noexcept { return sched_; }
+  unsigned worker_id() const noexcept { return tid_; }
+
+ private:
+  friend class Scheduler;
+  Context(Scheduler& s, unsigned tid) noexcept : sched_(s), tid_(tid) {}
+
+  Scheduler& sched_;
+  unsigned tid_;
+  std::atomic<std::int64_t> pending_children_{0};
+};
+
+namespace detail {
+struct TaskBase {
+  virtual ~TaskBase() = default;
+  virtual void execute(Context& ctx) = 0;
+  std::atomic<std::int64_t>* join = nullptr;
+};
+template <typename F>
+struct TaskImpl final : TaskBase {
+  explicit TaskImpl(F&& f) : fn(std::move(f)) {}
+  void execute(Context& ctx) override { fn(ctx); }
+  F fn;
+};
+}  // namespace detail
+
+class Scheduler {
+ public:
+  explicit Scheduler(unsigned nthreads);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Run `root(ctx)` on the caller (worker 0) and wait until it and all of
+  /// its transitive children complete.
+  template <typename F>
+  void run_root(F&& root) {
+    Context ctx(*this, 0);
+    root(ctx);
+    ctx.sync();
+  }
+
+  unsigned nthreads() const noexcept {
+    return static_cast<unsigned>(deques_.size());
+  }
+  std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Context;
+
+  void push(unsigned tid, detail::TaskBase* t) {
+    deques_[tid]->push_bottom(t);
+    gate_.notify_one();
+  }
+
+  detail::TaskBase* acquire(unsigned tid);
+  void run_task(detail::TaskBase* t, unsigned tid);
+  void worker_loop(unsigned tid);
+
+  std::vector<std::unique_ptr<ChaseLevDeque<detail::TaskBase>>> deques_;
+  std::vector<std::thread> threads_;
+  std::vector<Xoshiro256> rngs_;
+  IdleGate gate_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+template <typename F>
+void Context::spawn(F&& fn) {
+  auto* t = new detail::TaskImpl<std::decay_t<F>>(std::forward<F>(fn));
+  t->join = &pending_children_;
+  pending_children_.fetch_add(1, std::memory_order_relaxed);
+  sched_.push(tid_, t);
+}
+
+}  // namespace smpss::fj

@@ -1,0 +1,29 @@
+// Real OpenMP tasking baselines (optional, compiled when the toolchain has
+// OpenMP). The paper's "OMP3 tasks" series used the Nanos research runtime;
+// our primary stand-in is baselines/taskpool. When libgomp is available
+// these variants run the same algorithms through actual `#pragma omp task`
+// / `taskwait`, giving an external reference point for Figs. 14/15.
+//
+// Note the paper-relevant detail carried over: the N-Queens board is copied
+// manually for every task ("the OpenMP tasking version requires allocating
+// a copy of the partial solution array"), and the multisort phases are
+// separated by taskwait barriers.
+#pragma once
+
+namespace smpss::ompreal {
+
+/// True when this build has real OpenMP support.
+bool available() noexcept;
+
+/// Threads OpenMP will use (0 if unavailable).
+unsigned max_threads() noexcept;
+
+/// Multisort via omp tasks; same decomposition as apps::multisort_*.
+/// Returns false when OpenMP is unavailable (output untouched).
+bool multisort(long* data, long* tmp, long n, long quick_size,
+               long merge_size, unsigned threads);
+
+/// N-Queens via omp tasks; returns -1 when OpenMP is unavailable.
+long nqueens(int n, int task_depth, unsigned threads);
+
+}  // namespace smpss::ompreal

@@ -1,0 +1,112 @@
+#include "baselines/taskpool/taskpool.hpp"
+
+#include "common/spin.hpp"
+
+namespace smpss::omp3 {
+
+namespace {
+// The spawning context of the code currently running on this thread: the
+// pending-children counter of the innermost enclosing task.
+thread_local std::atomic<std::int64_t>* t_current_frame = nullptr;
+}  // namespace
+
+TaskPool::TaskPool(unsigned nthreads) : nthreads_(nthreads ? nthreads : 1) {
+  threads_.reserve(nthreads_ - 1);
+  for (unsigned i = 1; i < nthreads_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  shutdown_.store(true, std::memory_order_release);
+  gate_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::task(std::function<void()> fn) {
+  auto* n = new Node;
+  n->fn = std::move(fn);
+  n->parent_pending = t_current_frame;
+  if (n->parent_pending)
+    n->parent_pending->fetch_add(1, std::memory_order_relaxed);
+  pool_.push_back(n);
+  gate_.notify_one();
+}
+
+void TaskPool::execute(Node* n) {
+  // Each task body gets its own frame so nested task()/taskwait() nest.
+  std::atomic<std::int64_t> frame{0};
+  std::atomic<std::int64_t>* saved = t_current_frame;
+  t_current_frame = &frame;
+  n->fn();
+  // OpenMP tasks do not implicitly wait for their children, but our frame
+  // counter lives on this stack, so children must be drained before the
+  // frame dies. Apps that want OpenMP semantics simply don't rely on it.
+  while (frame.load(std::memory_order_acquire) > 0) {
+    if (Node* m = pool_.pop_front()) {
+      execute(m);
+    } else {
+      cpu_relax();
+    }
+  }
+  t_current_frame = saved;
+  if (n->parent_pending) {
+    n->parent_pending->fetch_sub(1, std::memory_order_acq_rel);
+    gate_.notify_all();
+  }
+  delete n;
+}
+
+void TaskPool::taskwait() {
+  std::atomic<std::int64_t>* frame = t_current_frame;
+  if (!frame) return;
+  Backoff backoff;
+  while (frame->load(std::memory_order_acquire) > 0) {
+    if (Node* m = pool_.pop_front()) {
+      execute(m);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void TaskPool::run_root(const std::function<void()>& root) {
+  std::atomic<std::int64_t> frame{0};
+  std::atomic<std::int64_t>* saved = t_current_frame;
+  t_current_frame = &frame;
+  root();
+  while (frame.load(std::memory_order_acquire) > 0) {
+    if (Node* m = pool_.pop_front()) {
+      execute(m);
+    } else {
+      cpu_relax();
+    }
+  }
+  t_current_frame = saved;
+}
+
+void TaskPool::worker_loop() {
+  unsigned failures = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Node* n = pool_.pop_front()) {
+      execute(n);
+      failures = 0;
+      continue;
+    }
+    if (++failures < 64) {
+      cpu_relax();
+      continue;
+    }
+    std::uint64_t seen = gate_.prepare_wait();
+    if (Node* n = pool_.pop_front()) {
+      execute(n);
+      failures = 0;
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    gate_.wait(seen, std::chrono::microseconds(500));
+    failures = 0;
+  }
+}
+
+}  // namespace smpss::omp3

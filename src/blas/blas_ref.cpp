@@ -1,0 +1,92 @@
+// Reference kernels: textbook loop nests with no tiling or restrict
+// annotations. Deliberately the slower of the two variants (the "MKL tiles"
+// curve of Figs. 8/11/12/13); correctness oracle for the tuned kernels.
+#include <cmath>
+
+#include "blas/kernels.hpp"
+
+namespace smpss::blas {
+namespace {
+
+void ref_gemm_nt_minus(int m, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < m; ++k) acc += a[i * m + k] * b[j * m + k];
+      c[i * m + j] -= acc;
+    }
+}
+
+void ref_gemm_nn_acc(int m, const float* a, const float* b, float* c) {
+  // Dot-product form: strided walks over b, the classic untuned pattern.
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < m; ++k) acc += a[i * m + k] * b[k * m + j];
+      c[i * m + j] += acc;
+    }
+}
+
+void ref_syrk_ln_minus(int m, const float* a, float* c) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j <= i; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < m; ++k) acc += a[i * m + k] * a[j * m + k];
+      c[i * m + j] -= acc;
+    }
+}
+
+void ref_trsm_rltn(int m, const float* l, float* x) {
+  // Solve X_new * L^T = X row by row (forward substitution per row).
+  for (int i = 0; i < m; ++i) {
+    float* xi = x + i * m;
+    for (int j = 0; j < m; ++j) {
+      float acc = xi[j];
+      for (int k = 0; k < j; ++k) acc -= xi[k] * l[j * m + k];
+      xi[j] = acc / l[j * m + j];
+    }
+  }
+}
+
+int ref_potrf_ln(int m, float* a) {
+  for (int k = 0; k < m; ++k) {
+    float d = a[k * m + k];
+    if (!(d > 0.0f)) return k + 1;  // catches NaN as well
+    d = std::sqrt(d);
+    a[k * m + k] = d;
+    float inv = 1.0f / d;
+    for (int i = k + 1; i < m; ++i) a[i * m + k] *= inv;
+    for (int j = k + 1; j < m; ++j) {
+      float ljk = a[j * m + k];
+      for (int i = j; i < m; ++i) a[i * m + j] -= a[i * m + k] * ljk;
+    }
+  }
+  return 0;
+}
+
+void ref_add(int m, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m * m; ++i) c[i] = a[i] + b[i];
+}
+
+void ref_sub(int m, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m * m; ++i) c[i] = a[i] - b[i];
+}
+
+}  // namespace
+
+const Kernels& ref_kernels() noexcept {
+  static const Kernels k{"ref",          ref_gemm_nt_minus, ref_gemm_nn_acc,
+                         ref_syrk_ln_minus, ref_trsm_rltn,  ref_potrf_ln,
+                         ref_add,        ref_sub};
+  return k;
+}
+
+const Kernels& kernels(Variant v) noexcept {
+  return v == Variant::Ref ? ref_kernels() : tuned_kernels();
+}
+
+const char* to_string(Variant v) noexcept {
+  return v == Variant::Ref ? "ref" : "tuned";
+}
+
+}  // namespace smpss::blas

@@ -1,0 +1,43 @@
+// Threaded-BLAS baselines — the "Threaded Goto" / "Threaded MKL" curves of
+// Figs. 11 and 12.
+//
+// GEMM is parallelized over independent row panels: embarrassingly parallel,
+// so it scales smoothly with thread count, like the vendor libraries in
+// Fig. 12. Cholesky is the classic bulk-synchronous right-looking blocked
+// factorization: the panel factorization serializes and every step ends in
+// a barrier. That is precisely the dependency-unaware structure whose
+// scaling the paper shows flattening ("the MKL parallelization does not
+// scale beyond 4 processors and the Goto parallelization does not scale
+// beyond 10 [...] we suspect their implementations are limited by
+// [dependency complexity]").
+#pragma once
+
+#include <cstddef>
+
+#include "blas/kernels.hpp"
+#include "common/thread_pool.hpp"
+
+namespace smpss::blas {
+
+class ThreadedBlas {
+ public:
+  ThreadedBlas(unsigned nthreads, Variant variant)
+      : pool_(nthreads), kernels_(kernels(variant)) {}
+
+  unsigned nthreads() const noexcept { return pool_.size(); }
+
+  /// C += A * B on flat row-major n x n matrices; row panels distributed
+  /// over the pool, each panel processed in cache-sized tiles.
+  void gemm_nn_acc_flat(int n, const float* a, const float* b, float* c);
+
+  /// In-place lower Cholesky of a flat row-major n x n matrix with block
+  /// size `bs` (must divide n). Returns 0 on success, nonzero if a pivot
+  /// failed. Bulk-synchronous right-looking algorithm.
+  int potrf_ln_flat(int n, float* a, int bs);
+
+ private:
+  ThreadPool pool_;
+  const Kernels& kernels_;
+};
+
+}  // namespace smpss::blas

@@ -1,0 +1,47 @@
+#include "common/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace smpss {
+
+unsigned hardware_concurrency() noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  unsigned n = std::thread::hardware_concurrency();
+  return n ? n : 1;
+}
+
+bool pin_current_thread(unsigned cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t avail;
+  CPU_ZERO(&avail);
+  if (sched_getaffinity(0, sizeof(avail), &avail) != 0) return false;
+  // Collect the allowed CPUs and pick round-robin among them so that pinning
+  // respects cpusets/containers the way the paper's Altix cpuset did.
+  int allowed[CPU_SETSIZE];
+  int count = 0;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(c, &avail)) allowed[count++] = c;
+  if (count == 0) return false;
+  cpu_set_t target;
+  CPU_ZERO(&target);
+  CPU_SET(allowed[cpu % static_cast<unsigned>(count)], &target);
+  return pthread_setaffinity_np(pthread_self(), sizeof(target), &target) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace smpss

@@ -1,0 +1,16 @@
+// Thread-pinning helpers. The paper runs inside a cpuset of 32 cores with
+// memory bound to the local nodes; on a single-socket node the equivalent is
+// optional one-thread-per-core pinning.
+#pragma once
+
+namespace smpss {
+
+/// Number of logical CPUs available to this process (cpuset-aware).
+unsigned hardware_concurrency() noexcept;
+
+/// Pin the calling thread to logical CPU `cpu` (modulo availability).
+/// Returns false if pinning is unsupported or fails; callers treat pinning
+/// as a best-effort optimization.
+bool pin_current_thread(unsigned cpu) noexcept;
+
+}  // namespace smpss

@@ -1,0 +1,21 @@
+#include "common/aligned_alloc.hpp"
+
+#include <cstdlib>
+
+#include "common/cache.hpp"
+#include "common/check.hpp"
+
+namespace smpss {
+
+void* aligned_alloc_bytes(std::size_t size, std::size_t align) {
+  SMPSS_ASSERT(align >= sizeof(void*) && (align & (align - 1)) == 0);
+  if (size == 0) size = align;  // keep distinct non-null pointers for 0-size
+  void* p = nullptr;
+  // posix_memalign keeps the free() contract simple across glibc/musl.
+  if (posix_memalign(&p, align, align_up(size, align)) != 0) return nullptr;
+  return p;
+}
+
+void aligned_free_bytes(void* p) noexcept { std::free(p); }
+
+}  // namespace smpss

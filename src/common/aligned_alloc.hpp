@@ -1,0 +1,56 @@
+// Cache-line-aligned allocation with byte accounting.
+//
+// The renaming engine (paper Sec. II) allocates runtime-owned buffers for
+// renamed data versions. Those allocations are (a) aligned — the paper notes
+// performance gains from "realigning data due to renamings" — and (b)
+// accounted, because renamed-storage footprint is one of the runtime's
+// blocking conditions (Sec. III: "a memory limit").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace smpss {
+
+/// Allocate `size` bytes aligned to `align` (power of two, >= sizeof(void*)).
+/// Returns nullptr only on out-of-memory.
+void* aligned_alloc_bytes(std::size_t size, std::size_t align);
+
+/// Free memory obtained from aligned_alloc_bytes.
+void aligned_free_bytes(void* p) noexcept;
+
+/// Monotonic + current counters for a pool of tracked allocations.
+/// All operations are thread-safe; `current()` is monotonic-read racy by
+/// design (used for watermark checks, not exact accounting).
+class MemoryAccountant {
+ public:
+  void add(std::size_t bytes) noexcept {
+    current_.fetch_add(bytes, std::memory_order_relaxed);
+    total_.fetch_add(bytes, std::memory_order_relaxed);
+    // Best-effort high-watermark update; racy CAS loop is fine here.
+    std::size_t cur = current_.load(std::memory_order_relaxed);
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_.compare_exchange_weak(peak, cur, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::size_t bytes) noexcept {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  std::size_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::size_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> total_{0};
+};
+
+}  // namespace smpss

@@ -1,0 +1,33 @@
+// Cache-geometry constants and alignment helpers shared across the runtime.
+//
+// The SMPSs scheduler is explicitly cache-driven (paper Sec. III: keep each
+// thread on a different region of the graph to minimize coherency traffic),
+// so padding/alignment of the shared scheduling structures matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smpss {
+
+/// Size every hot shared structure is padded to. 64 bytes covers all current
+/// x86-64 and most AArch64 parts; 128 would cover adjacent-line prefetch but
+/// doubles the footprint of the per-worker arrays.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Alignment used for renamed data storage. The paper attributes part of the
+/// 1-thread N-Queens win to "the runtime realigning data due to renamings";
+/// renamed buffers therefore always start on a cache-line boundary.
+inline constexpr std::size_t kDataAlignment = 64;
+
+/// Round `n` up to the next multiple of `align` (power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True if `p` is aligned to `align` (power of two).
+inline bool is_aligned(const void* p, std::size_t align) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+}  // namespace smpss

@@ -1,0 +1,36 @@
+// Lightweight contract checks in the spirit of the Core Guidelines'
+// Expects/Ensures. SMPSS_ASSERT compiles away in release builds;
+// SMPSS_CHECK stays on in all builds and is used for user-facing API
+// contract violations (e.g. spawning from a worker thread).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smpss::detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* cond,
+                                      const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "smpss: %s failed: %s at %s:%d%s%s\n", kind, cond, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace smpss::detail
+
+#define SMPSS_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::smpss::detail::check_failed("check", #cond, __FILE__, __LINE__,     \
+                                    (msg));                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define SMPSS_ASSERT(cond) ((void)0)
+#else
+#define SMPSS_ASSERT(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::smpss::detail::check_failed("assert", #cond, __FILE__, __LINE__,    \
+                                    nullptr);                               \
+  } while (0)
+#endif

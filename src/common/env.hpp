@@ -1,0 +1,16 @@
+// Environment-variable configuration, mirroring the CSS_* variables the
+// original SMPSs distribution read (CSS_NUM_CPUS and friends). We use the
+// SMPSS_ prefix; see runtime/config.hpp for the full list.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace smpss {
+
+std::optional<std::string> env_string(const char* name);
+std::optional<long long> env_int(const char* name);
+std::optional<bool> env_bool(const char* name);  // accepts 0/1/true/false/on/off
+
+}  // namespace smpss

@@ -1,0 +1,57 @@
+// xoshiro256** — a small, fast, seedable PRNG for workload generators and
+// property tests. Deterministic across platforms (unlike std::default_random_engine),
+// which keeps the test suites reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace smpss {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    for (auto& word : s_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;  // modulo bias irrelevant for test workloads
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace smpss

@@ -1,0 +1,134 @@
+// A minimal inline-capacity vector for trivially-destructible-or-not payloads.
+//
+// Task nodes carry short lists (parameters, successors, copy ops) whose
+// typical length is 2-8; heap-allocating a std::vector per list would put an
+// allocation on the task-creation fast path, which the paper's granularity
+// budget (~250 us/task) cannot afford at small block sizes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace smpss {
+
+template <typename T, std::size_t InlineCapacity>
+class SmallVector {
+  static_assert(InlineCapacity > 0);
+
+ public:
+  SmallVector() noexcept : data_(inline_data()), capacity_(InlineCapacity) {}
+
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    move_from(std::move(other));
+  }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_and_release();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_and_release(); }
+
+  T& push_back(const T& v) { return emplace_back(v); }
+  T& push_back(T&& v) { return emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    SMPSS_ASSERT(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  T& operator[](std::size_t i) {
+    SMPSS_ASSERT(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    SMPSS_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool is_inline() const noexcept { return data_ == inline_data(); }
+
+ private:
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  void grow() {
+    std::size_t new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) ::operator delete(data_, std::align_val_t{alignof(T)});
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void clear_and_release() noexcept {
+    clear();
+    if (!is_inline()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = inline_data();
+      capacity_ = InlineCapacity;
+    }
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      for (std::size_t i = 0; i < other.size_; ++i)
+        emplace_back(std::move(other.data_[i]));
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.capacity_ = InlineCapacity;
+    }
+  }
+
+  alignas(T) unsigned char storage_[InlineCapacity * sizeof(T)];
+  T* data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,65 @@
+// Spin synchronization primitives for the short critical sections in the
+// task-graph bookkeeping (successor-list append vs. completion race).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace smpss {
+
+/// One polite busy-wait iteration.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Exponential-ish backoff: spin politely, then start yielding to the OS.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (count_ < kSpinLimit) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 6;
+  int count_ = 0;
+};
+
+/// Tiny test-and-test-and-set spin lock. Critical sections guarded by this
+/// lock are a handful of instructions (flag flip + list splice); a futex
+/// would cost more than the section itself.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      Backoff b;
+      while (flag_.load(std::memory_order_relaxed)) b.pause();
+    }
+  }
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace smpss

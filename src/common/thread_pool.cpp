@@ -1,0 +1,60 @@
+#include "common/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace smpss {
+
+ThreadPool::ThreadPool(unsigned nthreads) : nthreads_(nthreads ? nthreads : 1) {
+  threads_.reserve(nthreads_ - 1);
+  for (unsigned tid = 1; tid < nthreads_; ++tid)
+    threads_.emplace_back([this, tid] { worker_loop(tid); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  if (nthreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    done_count_ = 0;
+    ++job_epoch_;
+  }
+  cv_job_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_count_ == nthreads_ - 1; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned tid) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_job_.wait(lk, [&] { return shutdown_ || job_epoch_ != seen; });
+      if (shutdown_) return;
+      seen = job_epoch_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++done_count_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace smpss

@@ -1,0 +1,50 @@
+// A bulk-synchronous fork-join thread pool: the substrate of the "threaded
+// Goto / threaded MKL" baselines (dependency-unaware parallel libraries of
+// paper Sec. VI.A/B). run() broadcasts one job to all threads and barriers.
+//
+// This deliberately is NOT the SMPSs scheduler: it models the fork-join
+// (parallel-loop + barrier) execution style whose Cholesky scaling the paper
+// shows flattening out.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smpss {
+
+class ThreadPool {
+ public:
+  /// `nthreads` total workers including the caller of run() (so a pool of 1
+  /// spawns no threads).
+  explicit ThreadPool(unsigned nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execute fn(tid) for tid in [0, size()); tid 0 runs on the caller.
+  /// Returns when every invocation finished (a full barrier).
+  void run(const std::function<void(unsigned tid)>& fn);
+
+  unsigned size() const noexcept { return nthreads_; }
+
+ private:
+  void worker_loop(unsigned tid);
+
+  unsigned nthreads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  unsigned done_count_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace smpss

@@ -1,0 +1,35 @@
+// Wall-clock helpers used by the tracer and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace smpss {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds between two now_ns() stamps.
+inline double seconds_between(std::uint64_t t0, std::uint64_t t1) noexcept {
+  return static_cast<double>(t1 - t0) * 1e-9;
+}
+
+/// Scope timer accumulating into a double (seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) noexcept : sink_(sink), t0_(now_ns()) {}
+  ~ScopedTimer() { sink_ += seconds_between(t0_, now_ns()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& sink_;
+  std::uint64_t t0_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,117 @@
+// cssc — command-line front end of the SMPSs source-to-source translator.
+//
+// Usage: cssc <input.css.c> [-o <output.hpp>] [--ns <namespace>] [--dump]
+//
+// Reads a C source annotated with `#pragma css` constructs and emits C++
+// spawn adapters targeting the smpss runtime (see cssc/codegen.hpp).
+// `--dump` prints a human-readable summary of what was parsed instead.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cssc/codegen.hpp"
+#include "cssc/pragma_parser.hpp"
+
+namespace {
+
+const char* dir_name(smpss::cssc::Direction d) {
+  using smpss::cssc::Direction;
+  switch (d) {
+    case Direction::Input: return "input";
+    case Direction::Output: return "output";
+    case Direction::Inout: return "inout";
+  }
+  return "?";
+}
+
+void dump(const smpss::cssc::TranslationUnit& tu) {
+  for (const auto& t : tu.tasks) {
+    std::printf("task %s (line %d)%s\n", t.name.c_str(), t.line,
+                t.high_priority ? " highpriority" : "");
+    for (const auto& c : t.clauses) {
+      std::printf("  %s:", dir_name(c.dir));
+      for (const auto& p : c.params) {
+        std::printf(" %s", p.name.c_str());
+        for (const auto& d : p.dims) std::printf("[%s]", d.c_str());
+        for (const auto& r : p.regions) {
+          using K = smpss::cssc::RegionSpec::Kind;
+          if (r.kind == K::Full)
+            std::printf("{}");
+          else if (r.kind == K::Bounds)
+            std::printf("{%s..%s}", r.lo.c_str(), r.hi_or_len.c_str());
+          else
+            std::printf("{%s:%s}", r.lo.c_str(), r.hi_or_len.c_str());
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("  signature: %s %s(", t.return_type.c_str(), t.name.c_str());
+    for (std::size_t i = 0; i < t.params.size(); ++i) {
+      const auto& p = t.params[i];
+      std::printf("%s%s %s", i ? ", " : "", p.type_text.c_str(),
+                  p.name.c_str());
+      for (const auto& d : p.decl_dims) std::printf("[%s]", d.c_str());
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output, ns = "css_generated";
+  bool do_dump = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--ns" && i + 1 < argc) {
+      ns = argv[++i];
+    } else if (arg == "--dump") {
+      do_dump = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::printf("usage: cssc <input> [-o output.hpp] [--ns namespace] [--dump]\n");
+      return 0;
+    } else {
+      input = arg;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "cssc: no input file\n");
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "cssc: cannot open %s\n", input.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  auto tu = smpss::cssc::parse_source(buf.str(), &error);
+  if (!tu) {
+    std::fprintf(stderr, "cssc: %s: %s\n", input.c_str(), error.c_str());
+    return 1;
+  }
+  if (do_dump) {
+    dump(*tu);
+    return 0;
+  }
+  smpss::cssc::CodegenOptions opts;
+  opts.ns = ns;
+  std::string code = smpss::cssc::generate(*tu, opts);
+  if (output.empty()) {
+    std::cout << code;
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "cssc: cannot write %s\n", output.c_str());
+      return 2;
+    }
+    out << code;
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "cssc/lexer.hpp"
+
+#include <cctype>
+
+namespace smpss::cssc {
+
+namespace {
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src, std::string* error) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  bool in_pragma = false;
+
+  auto peek_word = [&](std::size_t at) {
+    std::size_t e = at;
+    while (e < src.size() && ident_char(src[e])) ++e;
+    return src.substr(at, e - at);
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      i += 2;  // line continuation: pragma keeps going
+      ++line;
+      continue;
+    }
+    if (c == '\n') {
+      if (in_pragma) {
+        out.push_back({TokKind::Newline, "\n", line});
+        in_pragma = false;
+      }
+      ++i;
+      ++line;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '#') {
+      // Expect "# pragma css" (whitespace tolerated after '#').
+      std::size_t j = i + 1;
+      while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (peek_word(j) == "pragma") {
+        j += 6;
+        while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (peek_word(j) == "css") {
+          out.push_back({TokKind::PragmaCss, "#pragma css", line});
+          in_pragma = true;
+          i = j + 3;
+          continue;
+        }
+      }
+      // Other preprocessor line: skip it entirely.
+      while (i < src.size() && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          ++i;
+          ++line;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string w = peek_word(i);
+      out.push_back({TokKind::Identifier, w, line});
+      i += w.size();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = i;
+      while (e < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[e])) ||
+              src[e] == '.')) {
+        // Stop a number before a ".." range operator.
+        if (src[e] == '.' && e + 1 < src.size() && src[e + 1] == '.') break;
+        ++e;
+      }
+      out.push_back({TokKind::Number, src.substr(i, e - i), line});
+      i = e;
+      continue;
+    }
+    if (c == '.' && i + 1 < src.size() && src[i + 1] == '.') {
+      out.push_back({TokKind::DotDot, "..", line});
+      i += 2;
+      continue;
+    }
+    static const std::string punct = "()[]{},;*&=<>+-/%.:";
+    if (punct.find(c) != std::string::npos) {
+      out.push_back({TokKind::Punct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    if (error) {
+      *error = "unexpected character '" + std::string(1, c) + "' at line " +
+               std::to_string(line);
+    }
+    return out;
+  }
+  out.push_back({TokKind::End, "", line});
+  return out;
+}
+
+}  // namespace smpss::cssc

@@ -1,0 +1,33 @@
+// Tokenizer for the `cssc` translator. Handles just enough C to read
+// `#pragma css` lines and the function declaration that follows a task
+// pragma: identifiers, numbers, punctuation (including the `..` range token
+// of region specifiers), comments, and backslash line continuations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace smpss::cssc {
+
+enum class TokKind {
+  Identifier,
+  Number,
+  Punct,     // single char: ( ) [ ] { } , ; * & = < > + - / % . :
+  DotDot,    // ".."
+  PragmaCss, // a "#pragma css" introducer (one token)
+  Newline,   // significant inside pragma lines
+  End,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenize a whole source buffer. Newline tokens are emitted only while a
+/// pragma line is open (pragmas are line-oriented; declarations are not).
+std::vector<Token> tokenize(const std::string& source, std::string* error);
+
+}  // namespace smpss::cssc

@@ -1,0 +1,273 @@
+#include "cssc/pragma_parser.hpp"
+
+namespace smpss::cssc {
+
+std::vector<std::pair<Direction, const ClauseParam*>> TaskDecl::occurrences(
+    const std::string& pname) const {
+  std::vector<std::pair<Direction, const ClauseParam*>> out;
+  for (const Clause& c : clauses)
+    for (const ClauseParam& p : c.params)
+      if (p.name == pname) out.emplace_back(c.dir, &p);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, std::string* error)
+      : toks_(std::move(toks)), error_(error) {}
+
+  std::optional<TranslationUnit> run() {
+    TranslationUnit tu;
+    while (!at_end()) {
+      if (cur().kind == TokKind::PragmaCss) {
+        if (!parse_pragma(tu)) return std::nullopt;
+      } else {
+        advance();  // plain program text: skip
+      }
+    }
+    return tu;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at_end() const { return cur().kind == TokKind::End; }
+  void advance() {
+    if (!at_end()) ++pos_;
+  }
+  bool is_ident(const char* s) const {
+    return cur().kind == TokKind::Identifier && cur().text == s;
+  }
+  bool is_punct(char c) const {
+    return cur().kind == TokKind::Punct && cur().text[0] == c;
+  }
+  bool fail(const std::string& msg) {
+    if (error_)
+      *error_ = msg + " at line " + std::to_string(cur().line);
+    return false;
+  }
+  bool expect_punct(char c, const char* what) {
+    if (!is_punct(c)) return fail(std::string("expected '") + c + "' in " + what);
+    advance();
+    return true;
+  }
+  void skip_newlines() {
+    while (cur().kind == TokKind::Newline) advance();
+  }
+
+  /// Collect expression text until a closing delimiter at depth 0 (one of
+  /// the characters in `stoppers`). Brackets/parens/braces nest.
+  std::string capture_expr(const std::string& stoppers) {
+    std::string out;
+    int depth = 0;
+    while (!at_end() && cur().kind != TokKind::Newline) {
+      if (depth == 0 && cur().kind == TokKind::Punct &&
+          stoppers.find(cur().text[0]) != std::string::npos)
+        break;
+      if (cur().kind == TokKind::DotDot && depth == 0 &&
+          stoppers.find('~') != std::string::npos)
+        break;  // '~' in stoppers means "stop at ..'"
+      if (is_punct('(') || is_punct('[') || is_punct('{')) ++depth;
+      if (is_punct(')') || is_punct(']') || is_punct('}')) --depth;
+      if (!out.empty() && (cur().kind == TokKind::Identifier ||
+                           cur().kind == TokKind::Number))
+        out += ' ';
+      out += cur().text;
+      advance();
+    }
+    return out;
+  }
+
+  bool parse_pragma(TranslationUnit& tu) {
+    int line = cur().line;
+    advance();  // PragmaCss
+    if (is_ident("task")) {
+      advance();
+      return parse_task(tu, line);
+    }
+    if (is_ident("barrier")) {
+      advance();
+      tu.others.push_back({OtherPragma::Kind::Barrier, {}, line});
+      skip_newlines();
+      return true;
+    }
+    if (is_ident("wait")) {
+      advance();
+      if (!is_ident("on")) return fail("expected 'on' after 'wait'");
+      advance();
+      if (!expect_punct('(', "wait on")) return false;
+      OtherPragma p{OtherPragma::Kind::WaitOn, {}, line};
+      while (!is_punct(')')) {
+        p.wait_exprs.push_back(capture_expr(",)"));
+        if (is_punct(',')) advance();
+        if (at_end() || cur().kind == TokKind::Newline)
+          return fail("unterminated wait on(...)");
+      }
+      advance();  // ')'
+      tu.others.push_back(std::move(p));
+      skip_newlines();
+      return true;
+    }
+    if (is_ident("start") || is_ident("finish")) {
+      tu.others.push_back({is_ident("start") ? OtherPragma::Kind::Start
+                                             : OtherPragma::Kind::Finish,
+                           {},
+                           line});
+      advance();
+      skip_newlines();
+      return true;
+    }
+    return fail("unknown css pragma '" + cur().text + "'");
+  }
+
+  bool parse_task(TranslationUnit& tu, int line) {
+    TaskDecl task;
+    task.line = line;
+    while (cur().kind != TokKind::Newline && !at_end()) {
+      if (is_ident("highpriority")) {
+        task.high_priority = true;
+        advance();
+        continue;
+      }
+      Direction dir;
+      if (is_ident("input")) {
+        dir = Direction::Input;
+      } else if (is_ident("output")) {
+        dir = Direction::Output;
+      } else if (is_ident("inout")) {
+        dir = Direction::Inout;
+      } else {
+        return fail("unknown task clause '" + cur().text + "'");
+      }
+      advance();
+      if (!expect_punct('(', "directionality clause")) return false;
+      Clause clause{dir, {}};
+      while (!is_punct(')')) {
+        ClauseParam p;
+        if (cur().kind != TokKind::Identifier)
+          return fail("expected parameter name in clause");
+        p.name = cur().text;
+        advance();
+        while (is_punct('[')) {  // dimension specifiers
+          advance();
+          p.dims.push_back(capture_expr("]"));
+          if (!expect_punct(']', "dimension specifier")) return false;
+        }
+        while (is_punct('{')) {  // region specifiers (Sec. V.A)
+          advance();
+          RegionSpec r;
+          if (is_punct('}')) {
+            r.kind = RegionSpec::Kind::Full;
+          } else {
+            r.lo = capture_expr(":}~");
+            if (cur().kind == TokKind::DotDot) {
+              advance();
+              r.kind = RegionSpec::Kind::Bounds;
+              r.hi_or_len = capture_expr("}");
+            } else if (is_punct(':')) {
+              advance();
+              r.kind = RegionSpec::Kind::Length;
+              r.hi_or_len = capture_expr("}");
+            } else {
+              return fail("expected '..' or ':' in region specifier");
+            }
+          }
+          if (!expect_punct('}', "region specifier")) return false;
+          p.regions.push_back(std::move(r));
+        }
+        clause.params.push_back(std::move(p));
+        if (is_punct(',')) advance();
+      }
+      advance();  // ')'
+      task.clauses.push_back(std::move(clause));
+    }
+    skip_newlines();
+    if (!parse_function_header(task)) return false;
+    tu.tasks.push_back(std::move(task));
+    return true;
+  }
+
+  /// Parse `ret name(type p [dims], ...)` up to ';' or '{'.
+  bool parse_function_header(TaskDecl& task) {
+    // Return type: identifiers + '*' until we see ident '(' lookahead.
+    std::string ret;
+    while (cur().kind == TokKind::Identifier || is_punct('*')) {
+      // Is this identifier the function name? (next token is '(')
+      if (cur().kind == TokKind::Identifier && pos_ + 1 < toks_.size() &&
+          toks_[pos_ + 1].kind == TokKind::Punct &&
+          toks_[pos_ + 1].text == "(") {
+        task.name = cur().text;
+        advance();
+        break;
+      }
+      if (!ret.empty()) ret += ' ';
+      ret += cur().text;
+      advance();
+    }
+    if (task.name.empty()) return fail("expected function name after task pragma");
+    task.return_type = ret.empty() ? "void" : ret;
+    if (!expect_punct('(', "function declaration")) return false;
+    while (!is_punct(')')) {
+      FuncParam p;
+      // type: identifiers, '*', possibly "(*name)[dims]" function-pointer-
+      // style array-of-pointer declarations are not supported.
+      while (cur().kind == TokKind::Identifier || is_punct('*') ||
+             is_punct('&')) {
+        // The last identifier before ',' / ')' / '[' is the parameter name.
+        if (cur().kind == TokKind::Identifier && pos_ + 1 < toks_.size()) {
+          const Token& nxt = toks_[pos_ + 1];
+          bool terminator =
+              nxt.kind == TokKind::Punct &&
+              (nxt.text == "," || nxt.text == ")" || nxt.text == "[");
+          if (terminator) {
+            p.name = cur().text;
+            advance();
+            break;
+          }
+        }
+        if (is_punct('*') || is_punct('&')) {
+          p.is_pointer = true;  // keep type_text as the base type only
+          advance();
+          continue;
+        }
+        if (!p.type_text.empty()) p.type_text += ' ';
+        p.type_text += cur().text;
+        advance();
+      }
+      if (p.name.empty()) return fail("expected parameter name in declaration");
+      while (is_punct('[')) {
+        advance();
+        p.decl_dims.push_back(capture_expr("]"));
+        if (!expect_punct(']', "array dimension")) return false;
+      }
+      if (!p.decl_dims.empty()) p.is_pointer = true;  // arrays decay
+      p.is_void_pointer = p.type_text == "void" && p.is_pointer &&
+                          p.decl_dims.empty();
+      task.params.push_back(std::move(p));
+      if (is_punct(',')) advance();
+    }
+    advance();  // ')'
+    // Trailing ';' or '{' belongs to the program; leave it in place.
+    return true;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<TranslationUnit> parse_source(const std::string& source,
+                                            std::string* error) {
+  std::string lex_error;
+  std::vector<Token> toks = tokenize(source, &lex_error);
+  if (!lex_error.empty()) {
+    if (error) *error = lex_error;
+    return std::nullopt;
+  }
+  return Parser(std::move(toks), error).run();
+}
+
+}  // namespace smpss::cssc

@@ -1,0 +1,86 @@
+// Parser for the `#pragma css` constructs of paper Sec. II and Sec. V.A:
+//
+//   #pragma css task [clause...]          (before a function decl/def)
+//       clause := input(plist) | output(plist) | inout(plist) | highpriority
+//       plist  := param [, param]...
+//       param  := identifier [dimension...] [region...]
+//       dimension := '[' expr ']'
+//       region    := '{' expr '..' expr '}' | '{' expr ':' expr '}' | '{}'
+//   #pragma css barrier
+//   #pragma css wait on(expr [, expr]...)
+//   #pragma css start
+//   #pragma css finish
+//
+// plus the function declaration following a task pragma. Expressions inside
+// dimensions/regions are captured as source text (they are C99 expressions
+// evaluated in the generated code's scope, exactly as the paper specifies).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cssc/lexer.hpp"
+
+namespace smpss::cssc {
+
+enum class Direction { Input, Output, Inout };
+
+struct RegionSpec {
+  enum class Kind { Bounds, Length, Full } kind = Kind::Full;
+  std::string lo;          // Bounds/Length
+  std::string hi_or_len;   // Bounds: upper; Length: length
+};
+
+/// One parameter occurrence inside a directionality clause.
+struct ClauseParam {
+  std::string name;
+  std::vector<std::string> dims;       // dimension specifiers, as text
+  std::vector<RegionSpec> regions;     // region specifiers (Sec. V.A)
+};
+
+struct Clause {
+  Direction dir;
+  std::vector<ClauseParam> params;
+};
+
+/// One parameter of the annotated C function declaration.
+struct FuncParam {
+  std::string type_text;               // e.g. "float", "void *"
+  std::string name;
+  std::vector<std::string> decl_dims;  // dims from the declaration, as text
+  bool is_pointer = false;             // declared with * (or array decays)
+  bool is_void_pointer = false;        // the paper's opaque pointers
+};
+
+struct TaskDecl {
+  bool high_priority = false;
+  std::vector<Clause> clauses;
+  std::string return_type;
+  std::string name;
+  std::vector<FuncParam> params;
+  int line = 0;
+
+  /// The clause occurrences of parameter `name` (a parameter may appear in
+  /// several clauses with different regions, Sec. V.A).
+  std::vector<std::pair<Direction, const ClauseParam*>> occurrences(
+      const std::string& pname) const;
+};
+
+struct OtherPragma {
+  enum class Kind { Barrier, WaitOn, Start, Finish } kind;
+  std::vector<std::string> wait_exprs;  // for WaitOn
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<TaskDecl> tasks;
+  std::vector<OtherPragma> others;
+};
+
+/// Parse a whole source buffer; returns nullopt and fills `error` on bad
+/// syntax.
+std::optional<TranslationUnit> parse_source(const std::string& source,
+                                            std::string* error);
+
+}  // namespace smpss::cssc

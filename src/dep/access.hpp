@@ -1,0 +1,38 @@
+// Parameter access descriptors — the information the paper's compiler
+// forwards to the runtime for every task parameter: "the memory address,
+// size and directionality of each parameter at each task invocation"
+// (Sec. II), optionally refined by an array region (Sec. V.A).
+#pragma once
+
+#include <cstddef>
+
+#include "dep/region.hpp"
+
+namespace smpss {
+
+/// Directionality clauses of the `#pragma css task` construct.
+enum class Dir : unsigned char {
+  In,     ///< parameter is only read
+  Out,    ///< parameter is only written
+  InOut,  ///< parameter is read and written
+};
+
+inline const char* to_string(Dir d) noexcept {
+  switch (d) {
+    case Dir::In: return "input";
+    case Dir::Out: return "output";
+    case Dir::InOut: return "inout";
+  }
+  return "?";
+}
+
+/// One directional parameter of one task invocation.
+struct AccessDesc {
+  void* addr = nullptr;     ///< base address of the datum
+  std::size_t bytes = 0;    ///< full size of the datum in bytes
+  Dir dir = Dir::In;
+  bool has_region = false;  ///< region-qualified access (Sec. V.A)
+  Region region;            ///< valid when has_region
+};
+
+}  // namespace smpss

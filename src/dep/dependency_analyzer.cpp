@@ -1,0 +1,173 @@
+#include "dep/dependency_analyzer.hpp"
+
+#include <cstring>
+
+namespace smpss {
+
+DependencyAnalyzer::~DependencyAnalyzer() {
+  // Normal shutdown goes through flush_all() after a barrier; this handles
+  // abandoned runtimes without leaking versions.
+  for (auto& [addr, e] : entries_) {
+    if (e.latest) e.latest->release(pool_);
+  }
+}
+
+DataEntry& DependencyAnalyzer::entry_for(void* addr, std::size_t bytes) {
+  auto [it, inserted] = entries_.try_emplace(addr);
+  DataEntry& e = it->second;
+  if (inserted) {
+    e.user_ptr = addr;
+    e.bytes = bytes;
+    // Initial version: the program's own storage, already "produced".
+    e.latest = new Version(&e, addr, bytes, /*renamed=*/false,
+                           /*producer=*/nullptr);
+    ++counters_.tracked_objects;
+  } else if (bytes > e.bytes) {
+    e.bytes = bytes;
+  }
+  return e;
+}
+
+void DependencyAnalyzer::add_edge(TaskNode* pred, TaskNode* succ,
+                                  EdgeKind kind) {
+  SMPSS_ASSERT(pred != succ);
+  if (!pred->add_successor(succ)) return;  // predecessor already completed
+  switch (kind) {
+    case EdgeKind::True: ++counters_.raw_edges; break;
+    case EdgeKind::Anti: ++counters_.war_edges; break;
+    case EdgeKind::Output: ++counters_.waw_edges; break;
+  }
+  if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
+}
+
+void* DependencyAnalyzer::process(TaskNode* task, const AccessDesc& access) {
+  SMPSS_ASSERT(!access.has_region);  // region accesses go to RegionAnalyzer
+  ++counters_.accesses;
+  DataEntry& e = entry_for(access.addr, access.bytes);
+  switch (access.dir) {
+    case Dir::In:
+      return process_read(task, e, access.bytes);
+    case Dir::Out:
+      return process_write(task, e, access.bytes, /*also_reads=*/false);
+    case Dir::InOut:
+      return process_write(task, e, access.bytes, /*also_reads=*/true);
+  }
+  return nullptr;  // unreachable
+}
+
+void* DependencyAnalyzer::process_read(TaskNode* task, DataEntry& e,
+                                       std::size_t bytes) {
+  Version* v = e.latest;
+  SMPSS_CHECK(!v->renamed() || bytes <= v->bytes(),
+              "task declares a larger input size than the renamed version "
+              "holds — inconsistent parameter sizes on one datum");
+  if (v->producer() && v->producer() != task && !v->is_produced()) {
+    add_edge(v->producer(), task, EdgeKind::True);
+  }
+  v->register_reader(task);
+  task->reads.push_back(v);
+  if (v->storage() == e.user_ptr) {
+    e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+    task->user_pending_slots.push_back(&e.user_storage_pending);
+  }
+  return v->storage();
+}
+
+void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
+                                        std::size_t bytes, bool also_reads) {
+  Version* v = e.latest;
+
+  if (also_reads && v->producer() && v->producer() != task &&
+      !v->is_produced()) {
+    add_edge(v->producer(), task, EdgeKind::True);  // RAW on the old value
+  }
+
+  void* storage = nullptr;
+  bool renamed = false;
+
+  if (renaming_) {
+    // Renaming configuration: never block on WAR/WAW — either reuse the old
+    // version's bytes in place when nothing else will touch them, or move
+    // the new version to fresh aligned storage.
+    const bool others_reading = v->readers_pending() > 0;
+    const bool old_unproduced = !v->is_produced();
+    const bool hazard = also_reads ? others_reading
+                                   : (others_reading || old_unproduced);
+    if (!hazard) {
+      storage = v->storage();
+      renamed = v->renamed();
+      v->disown_storage();  // ownership moves to the new version
+      ++counters_.in_place_reuses;
+    } else {
+      storage = pool_.allocate(bytes);
+      renamed = true;
+      if (also_reads) {
+        // The body starts from the old value: register as reader (keeps the
+        // old version's storage alive) and schedule the byte copy.
+        v->register_reader(task);
+        task->reads.push_back(v);
+        if (v->storage() == e.user_ptr) {
+          e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+          task->user_pending_slots.push_back(&e.user_storage_pending);
+        }
+        task->copy_ins.push_back(CopyIn{v->storage(), storage, bytes});
+        ++counters_.copy_ins;
+        counters_.copy_in_bytes += bytes;
+      }
+    }
+  } else {
+    // No-renaming ablation: everything stays in the user's storage and the
+    // hazards the paper eliminates become explicit graph edges.
+    if (v->producer() && v->producer() != task && !v->is_produced()) {
+      add_edge(v->producer(), task, EdgeKind::Output);
+    }
+    for (TaskNode* r : v->reader_tasks()) {
+      if (r != task && !r->finished_hint()) {
+        add_edge(r, task, EdgeKind::Anti);
+      }
+    }
+    storage = v->storage();
+    renamed = false;
+    v->disown_storage();
+  }
+
+  auto* v2 = new Version(&e, storage, bytes, renamed, task);
+  e.latest = v2;
+  v->release(pool_);  // drop the superseded version's latest-token
+  task->produces.push_back(v2);
+  if (storage == e.user_ptr) {
+    e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+    task->user_pending_slots.push_back(&e.user_storage_pending);
+  }
+  return storage;
+}
+
+void DependencyAnalyzer::flush_all() {
+  for (auto& [addr, e] : entries_) {
+    Version* v = e.latest;
+    SMPSS_ASSERT(v->is_produced());
+    SMPSS_ASSERT(v->readers_pending() == 0);
+    if (v->storage() != e.user_ptr) {
+      std::memcpy(e.user_ptr, v->storage(), v->bytes());
+      counters_.copyback_bytes += v->bytes();
+    }
+    v->release(pool_);
+  }
+  entries_.clear();
+}
+
+DataEntry* DependencyAnalyzer::find(const void* addr) {
+  auto it = entries_.find(addr);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void DependencyAnalyzer::copy_back_latest(DataEntry& entry) {
+  Version* v = entry.latest;
+  SMPSS_ASSERT(v->is_produced());
+  if (v->storage() != entry.user_ptr) {
+    std::memcpy(entry.user_ptr, v->storage(), v->bytes());
+    counters_.copyback_bytes += v->bytes();
+  }
+}
+
+}  // namespace smpss

@@ -1,0 +1,91 @@
+// Address-mode dependency analysis with renaming (paper Sec. II).
+//
+// "The runtime takes the memory address, size and directionality of each
+// parameter at each task invocation and uses them to analyze the
+// dependencies between them." Data are keyed by their base address; each
+// datum carries a chain of versions (see dep/version.hpp). With renaming
+// enabled (the paper's default) only true RAW dependencies produce edges;
+// WAR/WAW hazards are absorbed by allocating fresh storage. With renaming
+// disabled (an ablation the paper argues against) anti- and output-
+// dependency edges are inserted instead.
+//
+// All methods run on the main thread only; workers interact with the data
+// this class creates via the tokens on TaskNode/Version.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "dep/access.hpp"
+#include "dep/renaming.hpp"
+#include "dep/version.hpp"
+#include "graph/graph_recorder.hpp"
+#include "graph/task.hpp"
+
+namespace smpss {
+
+class DependencyAnalyzer {
+ public:
+  struct Counters {
+    std::uint64_t accesses = 0;
+    std::uint64_t raw_edges = 0;
+    std::uint64_t war_edges = 0;      // only with renaming disabled
+    std::uint64_t waw_edges = 0;      // only with renaming disabled
+    std::uint64_t in_place_reuses = 0;
+    std::uint64_t copy_ins = 0;       // inout renames (byte copies)
+    std::uint64_t copy_in_bytes = 0;
+    std::uint64_t copyback_bytes = 0; // barrier/wait_on realignment copies
+    std::uint64_t tracked_objects = 0;
+  };
+
+  DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
+                     GraphRecorder* recorder) noexcept
+      : pool_(pool), renaming_(renaming_enabled), recorder_(recorder) {}
+
+  DependencyAnalyzer(const DependencyAnalyzer&) = delete;
+  DependencyAnalyzer& operator=(const DependencyAnalyzer&) = delete;
+
+  ~DependencyAnalyzer();
+
+  /// Analyze one directional parameter of `task`: wire dependency edges,
+  /// create/supersede versions, decide renaming. Returns the storage the
+  /// task body must use for this parameter.
+  void* process(TaskNode* task, const AccessDesc& access);
+
+  /// Barrier-time realignment: copy every renamed latest version back to its
+  /// user storage and drop all tracking state. Requires all tasks complete.
+  void flush_all();
+
+  /// Lookup for wait_on(); nullptr when the address was never tracked.
+  DataEntry* find(const void* addr);
+
+  /// Copy the latest version's bytes back into user storage (no state
+  /// change; chain stays intact so later tasks keep their versions).
+  /// Requires the latest version to be produced and user storage quiescent.
+  void copy_back_latest(DataEntry& entry);
+
+  /// True if this address is currently tracked (used to diagnose mixing of
+  /// address-mode and region-mode access on one array).
+  bool tracks(const void* addr) const {
+    return entries_.find(addr) != entries_.end();
+  }
+
+  const Counters& counters() const noexcept { return counters_; }
+  std::size_t live_entries() const noexcept { return entries_.size(); }
+
+ private:
+  DataEntry& entry_for(void* addr, std::size_t bytes);
+  void add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind);
+  void* process_read(TaskNode* task, DataEntry& e, std::size_t bytes);
+  void* process_write(TaskNode* task, DataEntry& e, std::size_t bytes,
+                      bool also_reads);
+
+  RenamePool& pool_;
+  bool renaming_;
+  GraphRecorder* recorder_;
+  Counters counters_;
+  std::unordered_map<const void*, DataEntry> entries_;
+};
+
+}  // namespace smpss

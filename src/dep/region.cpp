@@ -1,0 +1,34 @@
+#include "dep/region.hpp"
+
+#include <cstdio>
+
+namespace smpss {
+
+std::uint64_t Region::element_count() const noexcept {
+  if (empty()) return 0;
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < ndims_; ++i) {
+    if (dims_[i].full) return 0;  // unknown extent
+    n *= static_cast<std::uint64_t>(dims_[i].upper - dims_[i].lower + 1);
+  }
+  return n;
+}
+
+std::string Region::to_string() const {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < ndims_; ++i) {
+    const Bound& b = dims_[i];
+    if (b.full) {
+      out += "{}";
+    } else {
+      std::snprintf(buf, sizeof(buf), "{%lld..%lld}",
+                    static_cast<long long>(b.lower),
+                    static_cast<long long>(b.upper));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace smpss

@@ -1,0 +1,141 @@
+// N-dimensional array regions (paper Sec. V.A).
+//
+// "Given an N-dimensional array A with dimensions d1..dN, an array region R
+// from A is a list of pairs {p1..pN} such that each pair pj = (lj, uj)
+// specifies a lower bound and an upper bound on the corresponding dimension;
+// R represents all elements with lj <= ij <= uj."
+//
+// The paper's three specifier spellings map to constructors here:
+//   {l..u}  -> Bound::closed(l, u)
+//   {l:L}   -> Bound::length(l, L)
+//   {}      -> Bound::full()          (whole dimension)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace smpss {
+
+/// Inclusive element-index interval on one array dimension.
+struct Bound {
+  std::int64_t lower = 0;
+  std::int64_t upper = -1;  ///< inclusive; lower > upper means empty
+  bool full = false;        ///< "{}": the dimension is used fully
+
+  static Bound closed(std::int64_t l, std::int64_t u) noexcept {
+    return Bound{l, u, false};
+  }
+  static Bound length(std::int64_t l, std::int64_t len) noexcept {
+    return Bound{l, l + len - 1, false};
+  }
+  static Bound whole() noexcept { return Bound{0, -1, true}; }
+
+  bool empty() const noexcept { return !full && lower > upper; }
+
+  /// Intervals overlap; a `full` bound overlaps everything non-empty.
+  bool overlaps(const Bound& o) const noexcept {
+    if (empty() || o.empty()) return false;
+    if (full || o.full) return true;
+    return lower <= o.upper && o.lower <= upper;
+  }
+
+  /// This interval contains `o` entirely.
+  bool contains(const Bound& o) const noexcept {
+    if (o.empty()) return true;
+    if (full) return true;
+    if (o.full) return false;
+    return lower <= o.lower && o.upper <= upper;
+  }
+
+  bool operator==(const Bound& o) const noexcept {
+    if (full && o.full) return true;
+    return full == o.full && lower == o.lower && upper == o.upper;
+  }
+};
+
+/// A rectangular region of up to kMaxDims dimensions, in *element* units.
+/// `elem_bytes` records sizeof(element) so byte footprints can be computed
+/// and mismatched element types on one array can be diagnosed.
+class Region {
+ public:
+  static constexpr std::size_t kMaxDims = 4;
+
+  Region() = default;
+
+  Region(std::initializer_list<Bound> bounds, std::size_t elem_bytes = 1)
+      : ndims_(bounds.size()), elem_bytes_(elem_bytes) {
+    SMPSS_CHECK(bounds.size() >= 1 && bounds.size() <= kMaxDims,
+                "region must have 1..4 dimensions");
+    std::size_t i = 0;
+    for (const Bound& b : bounds) dims_[i++] = b;
+  }
+
+  std::size_t ndims() const noexcept { return ndims_; }
+  std::size_t elem_bytes() const noexcept { return elem_bytes_; }
+  void set_elem_bytes(std::size_t b) noexcept { elem_bytes_ = b; }
+
+  const Bound& dim(std::size_t i) const noexcept {
+    SMPSS_ASSERT(i < ndims_);
+    return dims_[i];
+  }
+  Bound& dim(std::size_t i) noexcept {
+    SMPSS_ASSERT(i < ndims_);
+    return dims_[i];
+  }
+
+  bool empty() const noexcept {
+    if (ndims_ == 0) return true;
+    for (std::size_t i = 0; i < ndims_; ++i)
+      if (dims_[i].empty()) return true;
+    return false;
+  }
+
+  /// Rectangles intersect iff every dimension's intervals intersect.
+  /// Regions of different rank on the same array are compared
+  /// conservatively: they are considered overlapping (the analyzer refuses
+  /// to reason about reshapes).
+  bool overlaps(const Region& o) const noexcept {
+    if (empty() || o.empty()) return false;
+    if (ndims_ != o.ndims_) return true;
+    for (std::size_t i = 0; i < ndims_; ++i)
+      if (!dims_[i].overlaps(o.dims_[i])) return false;
+    return true;
+  }
+
+  bool contains(const Region& o) const noexcept {
+    if (o.empty()) return true;
+    if (ndims_ != o.ndims_) return false;
+    for (std::size_t i = 0; i < ndims_; ++i)
+      if (!dims_[i].contains(o.dims_[i])) return false;
+    return true;
+  }
+
+  bool operator==(const Region& o) const noexcept {
+    if (ndims_ != o.ndims_) return false;
+    for (std::size_t i = 0; i < ndims_; ++i)
+      if (!(dims_[i] == o.dims_[i])) return false;
+    return true;
+  }
+
+  /// Number of elements, treating `full` dimensions as unknown (returns 0).
+  std::uint64_t element_count() const noexcept;
+
+  /// Render in the paper's specifier syntax, e.g. "{0..9}{}".
+  std::string to_string() const;
+
+ private:
+  std::size_t ndims_ = 0;
+  std::size_t elem_bytes_ = 1;
+  std::array<Bound, kMaxDims> dims_{};
+};
+
+/// Convenience builders mirroring the paper's syntax.
+inline Bound bounds(std::int64_t l, std::int64_t u) { return Bound::closed(l, u); }
+inline Bound span_from(std::int64_t l, std::int64_t len) { return Bound::length(l, len); }
+inline Bound whole_dim() { return Bound::whole(); }
+
+}  // namespace smpss

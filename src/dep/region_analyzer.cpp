@@ -1,0 +1,65 @@
+#include "dep/region_analyzer.hpp"
+
+#include <algorithm>
+
+namespace smpss {
+
+void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
+  if (!pred->add_successor(succ)) return;
+  switch (kind) {
+    case EdgeKind::True: ++counters_.raw_edges; break;
+    case EdgeKind::Anti: ++counters_.war_edges; break;
+    case EdgeKind::Output: ++counters_.waw_edges; break;
+  }
+  if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
+}
+
+void* RegionAnalyzer::process(TaskNode* task, const AccessDesc& access) {
+  SMPSS_ASSERT(access.has_region);
+  ++counters_.accesses;
+
+  auto [it, inserted] = arrays_.try_emplace(access.addr);
+  ArrayEntry& e = it->second;
+  if (inserted) {
+    e.elem_bytes = access.region.elem_bytes();
+    ++counters_.tracked_arrays;
+  } else {
+    SMPSS_CHECK(e.elem_bytes == access.region.elem_bytes(),
+                "one array accessed with two different element sizes");
+  }
+
+  // Lazily prune records whose task already finished; their effects are in
+  // memory, so they can no longer be the source of a dependency.
+  auto dead = std::remove_if(e.live.begin(), e.live.end(), [&](AccessRec& r) {
+    if (!r.task->finished_hint()) return false;
+    r.task->release();
+    ++counters_.pruned_records;
+    return true;
+  });
+  e.live.erase(dead, e.live.end());
+
+  const bool writes = access.dir != Dir::In;
+  for (const AccessRec& r : e.live) {
+    if (r.task == task) continue;            // duplicate params on one task
+    if (!r.writes && !writes) continue;      // read-after-read: no hazard
+    if (!r.region.overlaps(access.region)) continue;
+    EdgeKind kind = r.writes ? (writes ? EdgeKind::Output : EdgeKind::True)
+                             : EdgeKind::Anti;
+    add_edge(r.task, task, kind);
+  }
+
+  task->add_ref();
+  e.live.push_back(AccessRec{access.region, task, writes});
+
+  return access.addr;  // regions never relocate data
+}
+
+void RegionAnalyzer::flush_all() {
+  for (auto& [addr, e] : arrays_) {
+    for (AccessRec& r : e.live) r.task->release();
+    e.live.clear();
+  }
+  arrays_.clear();
+}
+
+}  // namespace smpss

@@ -1,0 +1,76 @@
+// Region-mode dependency analysis — the language extension of paper Sec. V.A.
+//
+// The paper *proposes* region specifiers ({l..u} | {l:L} | {}) but notes its
+// runtime "does not yet include support for array regions"; this class
+// implements them. Per base array we keep the set of live region accesses;
+// a new access gains an edge from every live access it conflicts with
+// (write/read, read/write or write/write on overlapping rectangles).
+//
+// Renaming is deliberately NOT applied across region accesses: partially
+// overlapping writes cannot be renamed consistently — the same caveat the
+// paper raises for representants ("representants cannot be reliably used if
+// there are false dependencies between the represented data").
+//
+// Main-thread only, like DependencyAnalyzer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dep/access.hpp"
+#include "graph/graph_recorder.hpp"
+#include "graph/task.hpp"
+
+namespace smpss {
+
+class RegionAnalyzer {
+ public:
+  struct Counters {
+    std::uint64_t accesses = 0;
+    std::uint64_t raw_edges = 0;
+    std::uint64_t war_edges = 0;
+    std::uint64_t waw_edges = 0;
+    std::uint64_t pruned_records = 0;
+    std::uint64_t tracked_arrays = 0;
+  };
+
+  explicit RegionAnalyzer(GraphRecorder* recorder) noexcept
+      : recorder_(recorder) {}
+  RegionAnalyzer(const RegionAnalyzer&) = delete;
+  RegionAnalyzer& operator=(const RegionAnalyzer&) = delete;
+  ~RegionAnalyzer() { flush_all(); }
+
+  /// Analyze one region-qualified parameter. The resolved storage is always
+  /// the program's own array (regions never relocate data); the return value
+  /// exists for symmetry with DependencyAnalyzer.
+  void* process(TaskNode* task, const AccessDesc& access);
+
+  /// Drop all access records (barrier time; all tasks complete).
+  void flush_all();
+
+  bool tracks(const void* addr) const {
+    return arrays_.find(addr) != arrays_.end();
+  }
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct AccessRec {
+    Region region;
+    TaskNode* task;  // strong ref
+    bool writes;
+  };
+  struct ArrayEntry {
+    std::vector<AccessRec> live;
+    std::size_t elem_bytes = 0;
+  };
+
+  void add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind);
+
+  GraphRecorder* recorder_;
+  Counters counters_;
+  std::unordered_map<const void*, ArrayEntry> arrays_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,38 @@
+// Representants (paper Sec. V.B): "a memory address that represents a
+// possibly non-contiguous collection of memory addresses. Each representant
+// is normally associated to an opaque pointer that is used by the tasks to
+// access the actual data. [...] By projecting region accesses on their
+// representants, a programmer may introduce back the missing dependency
+// information."
+//
+// RepresentantPool hands out stable one-byte addresses to stand for logical
+// pieces of data (array regions, tree nodes, ...). Tasks pass representants
+// through in()/out()/inout() to express the dependencies, and the real data
+// through opaque() so the analyzer skips it.
+//
+// The paper's caveat applies: "since renaming is automatic and transparent,
+// representants cannot be reliably used if there are false dependencies
+// between the represented data" — design the representant mapping so that
+// each datum piece has exactly one representant (e.g. one per sort-tree
+// node in the Multisort app).
+#pragma once
+
+#include <deque>
+
+namespace smpss {
+
+class RepresentantPool {
+ public:
+  /// A fresh representant address, stable for the pool's lifetime.
+  char* fresh() {
+    slots_.push_back(0);
+    return &slots_.back();
+  }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  std::deque<char> slots_;  // deque: push_back never moves prior elements
+};
+
+}  // namespace smpss

@@ -1,0 +1,33 @@
+#include "dep/version.hpp"
+
+#include "dep/renaming.hpp"
+
+#include "common/cache.hpp"
+
+namespace smpss {
+
+Version::Version(DataEntry* entry, void* storage, std::size_t bytes,
+                 bool renamed, TaskNode* producer)
+    : entry_(entry),
+      storage_(storage),
+      bytes_(bytes),
+      renamed_(renamed),
+      producer_(producer),
+      produced_(producer == nullptr),  // initial versions are already valid
+      refs_(producer ? 2 : 1) {        // latest token (+ producer token)
+  if (producer_) producer_->add_ref();
+}
+
+Version::~Version() {
+  if (producer_) producer_->release();
+  for (TaskNode* t : reader_tasks_) t->release();
+}
+
+void Version::release(RenamePool& pool) noexcept {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (renamed_) pool.deallocate(storage_, bytes_);
+    delete this;
+  }
+}
+
+}  // namespace smpss

@@ -1,0 +1,123 @@
+// Data versions — the runtime-side analogue of physical registers in a
+// superscalar processor (paper Sec. II: "the SMPSs runtime is capable of
+// renaming the data, leaving only the true dependencies. This is the same
+// technique used by superscalar processors").
+//
+// Every datum the program passes to tasks is a chain of versions. A version
+// records where its bytes live (the user's storage or a runtime-owned
+// renamed buffer), which task produces it, and how many readers are still
+// pending. Lifetime is reference-counted:
+//   +1 "latest" token   — held while the version is the newest of its datum
+//   +1 producer token   — held until the producing task completes
+//   +1 per reader       — held until each reading task completes
+// When the count drops to zero the version is destroyed and renamed storage
+// is returned to the rename pool. This gives the eager reclamation the paper
+// relies on to keep renamed-memory bounded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/small_vector.hpp"
+#include "graph/task.hpp"
+
+namespace smpss {
+
+class RenamePool;
+struct DataEntry;
+
+class Version {
+ public:
+  /// Creates a version holding the latest-token (refs=1) plus a producer
+  /// token if `producer` is non-null (refs=2). Takes a strong ref on the
+  /// producer task.
+  Version(DataEntry* entry, void* storage, std::size_t bytes, bool renamed,
+          TaskNode* producer);
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  void* storage() const noexcept { return storage_; }
+  std::size_t bytes() const noexcept { return bytes_; }
+  bool renamed() const noexcept { return renamed_; }
+  DataEntry* entry() const noexcept { return entry_; }
+  TaskNode* producer() const noexcept { return producer_; }
+
+  bool is_produced() const noexcept {
+    return produced_.load(std::memory_order_acquire);
+  }
+  void mark_produced() noexcept {
+    produced_.store(true, std::memory_order_release);
+  }
+
+  // --- reader registration (main thread) -----------------------------------
+
+  /// Register `reader` as a pending reader: bumps the pending count, takes a
+  /// lifetime ref on this version and a strong ref on the reader task (the
+  /// task pointer is needed later for WAR edges when renaming is disabled).
+  void register_reader(TaskNode* reader) {
+    readers_pending_.fetch_add(1, std::memory_order_relaxed);
+    refs_.fetch_add(1, std::memory_order_relaxed);
+    reader->add_ref();
+    reader_tasks_.push_back(reader);
+  }
+
+  /// Pending readers right now (main-thread decision input; workers only
+  /// ever decrement, so a nonzero answer can only shrink).
+  int readers_pending() const noexcept {
+    return readers_pending_.load(std::memory_order_acquire);
+  }
+
+  /// Main-thread-only view of recorded reader tasks (WAR edges in the
+  /// no-renaming configuration).
+  const SmallVector<TaskNode*, 4>& reader_tasks() const noexcept {
+    return reader_tasks_;
+  }
+
+  // --- token release (any thread) -------------------------------------------
+
+  /// A reading task finished: drop its pending-reader mark, then its ref.
+  void reader_finished(RenamePool& pool) noexcept {
+    readers_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    release(pool);
+  }
+
+  /// Drop one lifetime reference; destroys the version at zero.
+  void release(RenamePool& pool) noexcept;
+
+  /// Transfer storage ownership out of this version (used when a successor
+  /// version reuses the same bytes in place): the buffer will no longer be
+  /// freed when this version dies. Main thread only, while holding the
+  /// latest token.
+  void disown_storage() noexcept { renamed_ = false; }
+
+ private:
+  ~Version();
+
+  DataEntry* entry_;
+  void* storage_;
+  std::size_t bytes_;
+  bool renamed_;
+  TaskNode* producer_;  // strong ref; null for initial versions
+  std::atomic<bool> produced_;
+  std::atomic<int> readers_pending_{0};
+  std::atomic<int> refs_;
+  SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, main-thread writes
+};
+
+/// Per-datum bookkeeping (address-mode analysis). Entries live in an
+/// unordered_map owned by the analyzer; unordered_map guarantees reference
+/// stability so versions can point back at their entry.
+struct DataEntry {
+  void* user_ptr = nullptr;  ///< the address the program passes to tasks
+  std::size_t bytes = 0;     ///< largest observed size for this address
+  Version* latest = nullptr; ///< owns the latest-token
+
+  /// Count of unfinished accesses whose storage is the *user* buffer.
+  /// wait_on() needs user storage quiescent before copying a renamed latest
+  /// version back into it.
+  std::atomic<int> user_storage_pending{0};
+};
+
+}  // namespace smpss

@@ -1,0 +1,35 @@
+// Graphviz DOT export of a recorded task graph — reproduces paper Fig. 5
+// ("Task dependency graph created by a 6 by 6 block Cholesky"): one node per
+// task numbered in invocation order, colored by task type, edges for true
+// dependencies (dashed/dotted for the WAR/WAW edges that only exist in the
+// no-renaming configuration).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph_recorder.hpp"
+
+namespace smpss {
+
+struct TaskTypeInfo;
+
+struct DotOptions {
+  bool color_by_type = true;
+  bool show_type_names = false;  ///< label "7\nsgemm_t" instead of "7"
+  std::string graph_name = "taskgraph";
+};
+
+/// Write `recorder`'s nodes and edges as a DOT digraph. `type_names[i]` is
+/// the display name of task type i (pass Runtime::task_types()).
+void export_dot(std::ostream& os, const GraphRecorder& recorder,
+                const std::vector<TaskTypeInfo>& types,
+                const DotOptions& opts = {});
+
+/// Convenience: render to a string.
+std::string to_dot(const GraphRecorder& recorder,
+                   const std::vector<TaskTypeInfo>& types,
+                   const DotOptions& opts = {});
+
+}  // namespace smpss

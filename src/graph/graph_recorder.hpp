@@ -1,0 +1,58 @@
+// Records the dynamically generated task graph (nodes in invocation order,
+// edges by kind) for post-mortem inspection: DOT export (paper Fig. 5),
+// structural statistics, and the paper-exact count assertions in the tests.
+//
+// Nodes and edges are only ever recorded by the main thread (task creation
+// and dependency analysis both happen there), so no synchronization is
+// needed beyond the enable flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smpss {
+
+enum class EdgeKind : std::uint8_t {
+  True,  ///< RAW — the only kind present when renaming is enabled
+  Anti,  ///< WAR — appears only with renaming disabled
+  Output ///< WAW — appears only with renaming disabled
+};
+
+class GraphRecorder {
+ public:
+  struct NodeRec {
+    std::uint64_t seq;       ///< 1-based invocation order (Fig. 5 numbering)
+    std::uint32_t type_id;
+  };
+  struct EdgeRec {
+    std::uint64_t from;
+    std::uint64_t to;
+    EdgeKind kind;
+  };
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record_node(std::uint64_t seq, std::uint32_t type_id) {
+    if (enabled_) nodes_.push_back(NodeRec{seq, type_id});
+  }
+  void record_edge(std::uint64_t from, std::uint64_t to, EdgeKind kind) {
+    if (enabled_) edges_.push_back(EdgeRec{from, to, kind});
+  }
+
+  const std::vector<NodeRec>& nodes() const noexcept { return nodes_; }
+  const std::vector<EdgeRec>& edges() const noexcept { return edges_; }
+
+  void clear() {
+    nodes_.clear();
+    edges_.clear();
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<NodeRec> nodes_;
+  std::vector<EdgeRec> edges_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,116 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smpss {
+
+namespace {
+/// Dense re-indexing of node seqs (seqs are unique but not necessarily
+/// contiguous across barriers).
+struct Indexed {
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  std::vector<std::uint64_t> seq_of;
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::size_t> indegree;
+};
+
+Indexed build_index(const GraphRecorder& rec) {
+  Indexed ix;
+  const auto& nodes = rec.nodes();
+  ix.seq_of.reserve(nodes.size());
+  for (const auto& n : nodes) {
+    ix.index_of.emplace(n.seq, ix.seq_of.size());
+    ix.seq_of.push_back(n.seq);
+  }
+  ix.succs.resize(nodes.size());
+  ix.indegree.assign(nodes.size(), 0);
+  for (const auto& e : rec.edges()) {
+    auto f = ix.index_of.find(e.from);
+    auto t = ix.index_of.find(e.to);
+    if (f == ix.index_of.end() || t == ix.index_of.end()) continue;
+    ix.succs[f->second].push_back(t->second);
+    ++ix.indegree[t->second];
+  }
+  return ix;
+}
+}  // namespace
+
+GraphStats analyze_graph(const GraphRecorder& rec) {
+  GraphStats out;
+  out.nodes = rec.nodes().size();
+  out.edges = rec.edges().size();
+  for (const auto& n : rec.nodes()) {
+    if (n.type_id >= out.per_type_counts.size())
+      out.per_type_counts.resize(n.type_id + 1, 0);
+    ++out.per_type_counts[n.type_id];
+  }
+  if (out.nodes == 0) return out;
+
+  Indexed ix = build_index(rec);
+
+  std::vector<std::size_t> level(out.nodes, 0);
+  std::vector<std::size_t> indeg = ix.indegree;
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < out.nodes; ++i)
+    if (indeg[i] == 0) frontier.push_back(i);
+  out.roots = frontier.size();
+
+  // Level-synchronous topological sweep: level = earliest possible wave.
+  std::size_t processed = 0;
+  std::size_t depth = 0;
+  while (!frontier.empty()) {
+    out.max_width = std::max(out.max_width, frontier.size());
+    ++depth;
+    std::vector<std::size_t> next;
+    for (std::size_t u : frontier) {
+      ++processed;
+      for (std::size_t v : ix.succs[u]) {
+        level[v] = std::max(level[v], level[u] + 1);
+        if (--indeg[v] == 0) next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  out.critical_path = depth;
+  out.avg_parallelism =
+      depth ? static_cast<double>(out.nodes) / static_cast<double>(depth) : 0.0;
+
+  std::size_t leaf_count = 0;
+  for (std::size_t i = 0; i < out.nodes; ++i)
+    if (ix.succs[i].empty()) ++leaf_count;
+  out.leaves = leaf_count;
+  return out;
+}
+
+std::vector<std::uint64_t> predecessors_of(const GraphRecorder& rec,
+                                           std::uint64_t seq) {
+  std::unordered_set<std::uint64_t> preds;
+  for (const auto& e : rec.edges())
+    if (e.to == seq) preds.insert(e.from);
+  std::vector<std::uint64_t> out(preds.begin(), preds.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> ancestor_closure(const GraphRecorder& rec,
+                                            std::uint64_t seq) {
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> preds;
+  for (const auto& e : rec.edges()) preds[e.to].push_back(e.from);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> stack{seq};
+  while (!stack.empty()) {
+    std::uint64_t u = stack.back();
+    stack.pop_back();
+    auto it = preds.find(u);
+    if (it == preds.end()) continue;
+    for (std::uint64_t p : it->second)
+      if (seen.insert(p).second) stack.push_back(p);
+  }
+  std::vector<std::uint64_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace smpss

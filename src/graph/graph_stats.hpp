@@ -1,0 +1,38 @@
+// Structural analysis of recorded task graphs: per-type counts, degree
+// statistics, critical path (in task count), maximum achievable parallelism
+// per level. Used by the Fig. 5 harness and the paper-exact count tests
+// (6x6 Cholesky = 56 tasks; "after running tasks 1 and 6, the runtime is
+// able to start executing task 51").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_recorder.hpp"
+
+namespace smpss {
+
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t roots = 0;           ///< tasks ready at creation
+  std::size_t leaves = 0;          ///< tasks nothing depends on
+  std::size_t critical_path = 0;   ///< longest chain, in tasks
+  std::size_t max_width = 0;       ///< widest level of the level-by-level schedule
+  double avg_parallelism = 0.0;    ///< nodes / critical_path
+  std::vector<std::size_t> per_type_counts;  ///< indexed by type id
+};
+
+/// Compute structural statistics of a recorded (acyclic) graph.
+GraphStats analyze_graph(const GraphRecorder& recorder);
+
+/// Direct predecessors of the task with invocation order `seq`.
+std::vector<std::uint64_t> predecessors_of(const GraphRecorder& recorder,
+                                           std::uint64_t seq);
+
+/// Transitive predecessor closure of `seq` (every task that must complete
+/// before `seq` may start).
+std::vector<std::uint64_t> ancestor_closure(const GraphRecorder& recorder,
+                                            std::uint64_t seq);
+
+}  // namespace smpss

@@ -1,0 +1,105 @@
+#include "graph/sched_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace smpss {
+
+SimResult simulate_schedule(const GraphRecorder& rec, unsigned processors,
+                            const std::vector<double>& cost_of_type) {
+  SimResult out;
+  const auto& nodes = rec.nodes();
+  if (nodes.empty() || processors == 0) return out;
+
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  index_of.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    index_of.emplace(nodes[i].seq, i);
+
+  std::vector<std::vector<std::size_t>> succs(nodes.size());
+  std::vector<std::size_t> indeg(nodes.size(), 0);
+  for (const auto& e : rec.edges()) {
+    auto f = index_of.find(e.from);
+    auto t = index_of.find(e.to);
+    if (f == index_of.end() || t == index_of.end()) continue;
+    succs[f->second].push_back(t->second);
+    ++indeg[t->second];
+  }
+
+  auto cost = [&](std::size_t i) {
+    std::uint32_t ty = nodes[i].type_id;
+    if (ty < cost_of_type.size() && cost_of_type[ty] > 0.0)
+      return cost_of_type[ty];
+    return 1.0;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) out.total_work += cost(i);
+
+  // Weighted critical path (bottom-up over a topological order).
+  {
+    std::vector<double> finish(nodes.size(), 0.0);
+    std::vector<std::size_t> order;
+    order.reserve(nodes.size());
+    std::vector<std::size_t> d = indeg;
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (d[i] == 0) frontier.push_back(i);
+    while (!frontier.empty()) {
+      std::size_t u = frontier.back();
+      frontier.pop_back();
+      order.push_back(u);
+      for (std::size_t v : succs[u])
+        if (--d[v] == 0) frontier.push_back(v);
+    }
+    SMPSS_CHECK(order.size() == nodes.size(), "recorded graph has a cycle");
+    for (std::size_t u : order) {
+      finish[u] += cost(u);
+      for (std::size_t v : succs[u])
+        finish[v] = std::max(finish[v], finish[u]);
+      out.critical_path = std::max(out.critical_path, finish[u]);
+    }
+  }
+
+  // Graham list scheduling: ready tasks start in invocation order; the
+  // earliest-finishing processor event drives time forward.
+  std::vector<std::size_t> d = indeg;
+  // Ready queue ordered by invocation index (min-heap).
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      ready;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (d[i] == 0) ready.push(i);
+
+  // Running tasks as (finish_time, node) min-heap.
+  using Running = std::pair<double, std::size_t>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+
+  double now = 0.0;
+  unsigned busy = 0;
+  std::size_t done = 0;
+  while (done < nodes.size()) {
+    while (!ready.empty() && busy < processors) {
+      std::size_t u = ready.top();
+      ready.pop();
+      running.emplace(now + cost(u), u);
+      ++busy;
+    }
+    SMPSS_CHECK(!running.empty(), "scheduler stalled: cyclic graph?");
+    auto [t, u] = running.top();
+    running.pop();
+    now = t;
+    --busy;
+    ++done;
+    for (std::size_t v : succs[u])
+      if (--d[v] == 0) ready.push(v);
+  }
+  out.makespan = now;
+  out.speedup = out.makespan > 0.0 ? out.total_work / out.makespan : 0.0;
+  return out;
+}
+
+}  // namespace smpss

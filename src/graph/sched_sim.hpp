@@ -1,0 +1,30 @@
+// List-scheduling simulation over a recorded task graph: given P processors
+// and per-type task costs, compute the makespan an ideal greedy scheduler
+// would achieve. This turns a recorded graph into the *potential*
+// parallelism number the paper reasons about (e.g. why a 6x6 Cholesky graph
+// with a 16-task critical path cannot use 32 cores, or why big blocks in
+// Fig. 8 "have limited parallelism").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_recorder.hpp"
+
+namespace smpss {
+
+struct SimResult {
+  double makespan = 0.0;       ///< simulated completion time
+  double total_work = 0.0;     ///< sum of task costs
+  double speedup = 0.0;        ///< total_work / makespan
+  double critical_path = 0.0;  ///< weighted longest chain (P = infinity)
+};
+
+/// Simulate greedy list scheduling of `rec` on `processors` identical
+/// processors. `cost_of_type[t]` is the execution cost of tasks of type t
+/// (missing entries default to 1.0). Ready tasks are started in invocation
+/// order whenever a processor is free — the classic Graham list scheduler.
+SimResult simulate_schedule(const GraphRecorder& rec, unsigned processors,
+                            const std::vector<double>& cost_of_type = {});
+
+}  // namespace smpss

@@ -1,0 +1,175 @@
+// TaskNode: one dynamically-created task instance — a node of the paper's
+// task graph (Sec. II: "Whenever the application calls a task, a node in a
+// task graph is added for each task instance and a series of edges
+// indicating their dependencies").
+//
+// Lifetime is reference-counted: the execution path holds one reference,
+// every data version produced by the task holds one (so the dependency
+// analyzer can still address the producer of a live version), and every
+// version that recorded this task as a reader holds one (so WAR edges can be
+// added in the no-renaming configuration). Nodes are created only by the
+// main thread; completion runs on an arbitrary worker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+#include "common/small_vector.hpp"
+#include "common/spin.hpp"
+
+namespace smpss {
+
+class Version;  // dep/version.hpp
+
+/// Identifies a task *kind* (e.g. "sgemm_t"): used for scheduling priority,
+/// per-type statistics, and the Fig. 5 graph coloring.
+struct TaskType {
+  std::uint32_t id = 0;
+};
+
+/// Type-erased task body. The concrete closure (built by runtime/spawn.hpp)
+/// receives the array of resolved data addresses — after renaming these may
+/// differ from the addresses the program passed.
+struct ClosureVTable {
+  void (*invoke)(void* self, void* const* resolved);
+  void (*destroy)(void* self) noexcept;
+};
+
+/// A pending byte copy executed immediately before the task body: renaming an
+/// `inout` parameter moves the computation to fresh storage, which must first
+/// be filled with the predecessor version's contents (paper Sec. II).
+struct CopyIn {
+  const void* src;
+  void* dst;
+  std::size_t bytes;
+};
+
+class TaskNode {
+ public:
+  /// Inline closure storage. Typical closures hold a function pointer plus a
+  /// few pointer/scalar parameters; 14 words covers everything in the paper's
+  /// applications without a heap allocation per task.
+  static constexpr std::size_t kInlineClosureBytes = 112;
+
+  TaskNode() = default;
+  TaskNode(const TaskNode&) = delete;
+  TaskNode& operator=(const TaskNode&) = delete;
+
+  ~TaskNode() {
+    if (vtable_) vtable_->destroy(closure_);
+    if (closure_ && closure_ != inline_buf_) {
+      if (heap_closure_align_ > alignof(std::max_align_t)) {
+        ::operator delete(closure_, std::align_val_t{heap_closure_align_});
+      } else {
+        ::operator delete(closure_);
+      }
+    }
+  }
+
+  // --- closure ------------------------------------------------------------
+
+  /// Reserve closure storage of `bytes`/`align`; returns the slot to
+  /// placement-new into. Must be followed by set_vtable().
+  void* allocate_closure(std::size_t bytes, std::size_t align) {
+    if (bytes <= kInlineClosureBytes && align <= alignof(std::max_align_t)) {
+      closure_ = inline_buf_;
+    } else if (align > alignof(std::max_align_t)) {
+      closure_ = ::operator new(bytes, std::align_val_t{align});
+      heap_closure_align_ = align;
+    } else {
+      closure_ = ::operator new(bytes);
+    }
+    return closure_;
+  }
+  void set_vtable(const ClosureVTable* vt) noexcept { vtable_ = vt; }
+
+  void run_body() {
+    for (const CopyIn& c : copy_ins) std::memcpy(c.dst, c.src, c.bytes);
+    vtable_->invoke(closure_, resolved.begin());
+  }
+
+  // --- lifetime -----------------------------------------------------------
+
+  void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void release() noexcept {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  // --- dependency bookkeeping ----------------------------------------------
+
+  /// Add a true-dependency edge this→succ unless this task already
+  /// completed. Returns true if the edge was recorded (succ's pending count
+  /// was incremented by the caller's thread).
+  bool add_successor(TaskNode* succ) {
+    succ_lock_.lock();
+    bool added = !completed_;
+    if (added) {
+      successors_.push_back(succ);
+      succ->pending_deps.fetch_add(1, std::memory_order_acq_rel);
+    }
+    succ_lock_.unlock();
+    return added;
+  }
+
+  /// Completion: mark done and hand the successor list to the caller, which
+  /// decrements each successor's pending count exactly once per edge.
+  SmallVector<TaskNode*, 4> take_successors_and_complete() {
+    succ_lock_.lock();
+    completed_ = true;
+    SmallVector<TaskNode*, 4> out = std::move(successors_);
+    succ_lock_.unlock();
+    finished_hint_.store(true, std::memory_order_release);
+    return out;
+  }
+
+  /// Relaxed completion hint for lock-free pruning of region access lists.
+  bool finished_hint() const noexcept {
+    return finished_hint_.load(std::memory_order_acquire);
+  }
+
+  // --- data (filled by the dependency analyzer on the main thread) ---------
+
+  /// Resolved storage address per directional parameter, in parameter order.
+  SmallVector<void*, 6> resolved;
+  /// Versions this task reads; reader tokens released at completion.
+  SmallVector<Version*, 4> reads;
+  /// Versions this task produces; marked produced + producer token released
+  /// at completion.
+  SmallVector<Version*, 2> produces;
+  /// Copies to run before the body (renamed inout parameters).
+  SmallVector<CopyIn, 1> copy_ins;
+  /// Per-datum "user storage still in use" counters this task must decrement
+  /// at completion (wait_on() quiescence accounting; see dep/version.hpp).
+  SmallVector<std::atomic<int>*, 2> user_pending_slots;
+
+  // --- scheduling state -----------------------------------------------------
+
+  /// Unsatisfied input dependencies + 1 creation guard. The guard keeps the
+  /// task invisible to the scheduler while the main thread is still wiring
+  /// edges; release_creation_guard() arms it.
+  std::atomic<std::int32_t> pending_deps{1};
+
+  TaskNode* queue_next = nullptr;  ///< intrusive link for the global FIFOs
+
+  std::uint64_t seq = 0;           ///< invocation order, 1-based (Fig. 5)
+  std::uint32_t type_id = 0;
+  bool high_priority = false;
+
+ private:
+  std::atomic<std::int32_t> refs_{1};
+  SpinLock succ_lock_;
+  bool completed_ = false;                   // guarded by succ_lock_
+  SmallVector<TaskNode*, 4> successors_;     // guarded by succ_lock_
+  std::atomic<bool> finished_hint_{false};
+
+  const ClosureVTable* vtable_ = nullptr;
+  void* closure_ = nullptr;
+  std::size_t heap_closure_align_ = 0;
+  alignas(std::max_align_t) unsigned char inline_buf_[kInlineClosureBytes];
+};
+
+}  // namespace smpss

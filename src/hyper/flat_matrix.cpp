@@ -1,0 +1,81 @@
+#include "hyper/flat_matrix.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/aligned_alloc.hpp"
+#include "common/cache.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace smpss {
+
+FlatMatrix::FlatMatrix(int n) : n_(n) {
+  SMPSS_CHECK(n > 0, "matrix dimension must be positive");
+  data_ = static_cast<float*>(aligned_alloc_bytes(bytes(), kDataAlignment));
+  SMPSS_CHECK(data_ != nullptr, "out of memory");
+  std::memset(data_, 0, bytes());
+}
+
+FlatMatrix::~FlatMatrix() {
+  if (data_) aligned_free_bytes(data_);
+}
+
+FlatMatrix::FlatMatrix(const FlatMatrix& o) : n_(o.n_) {
+  data_ = static_cast<float*>(aligned_alloc_bytes(bytes(), kDataAlignment));
+  SMPSS_CHECK(data_ != nullptr, "out of memory");
+  std::memcpy(data_, o.data_, bytes());
+}
+
+FlatMatrix::FlatMatrix(FlatMatrix&& o) noexcept : n_(o.n_), data_(o.data_) {
+  o.data_ = nullptr;
+}
+
+void fill_random(FlatMatrix& a, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::size_t total = static_cast<std::size_t>(a.n()) * a.n();
+  float* p = a.data();
+  for (std::size_t i = 0; i < total; ++i) p[i] = 2.0f * rng.next_float() - 1.0f;
+}
+
+void fill_spd(FlatMatrix& a, std::uint64_t seed) {
+  const int n = a.n();
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j <= i; ++j) {
+      float v = (2.0f * rng.next_float() - 1.0f) / static_cast<float>(n);
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  for (int i = 0; i < n; ++i) a.at(i, i) += 2.0f;
+}
+
+float max_abs_diff(const FlatMatrix& a, const FlatMatrix& b) {
+  SMPSS_CHECK(a.n() == b.n(), "dimension mismatch");
+  float m = 0.0f;
+  const std::size_t total = static_cast<std::size_t>(a.n()) * a.n();
+  for (std::size_t i = 0; i < total; ++i)
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+float max_abs_diff_lower(const FlatMatrix& a, const FlatMatrix& b) {
+  SMPSS_CHECK(a.n() == b.n(), "dimension mismatch");
+  float m = 0.0f;
+  for (int i = 0; i < a.n(); ++i)
+    for (int j = 0; j <= i; ++j)
+      m = std::max(m, std::fabs(a.at(i, j) - b.at(i, j)));
+  return m;
+}
+
+double frob_norm(const FlatMatrix& a) {
+  double s = 0.0;
+  const std::size_t total = static_cast<std::size_t>(a.n()) * a.n();
+  for (std::size_t i = 0; i < total; ++i) {
+    double v = a.data()[i];
+    s += v * v;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace smpss

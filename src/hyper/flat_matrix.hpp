@@ -1,0 +1,54 @@
+// Flat row-major matrix helpers: aligned owning buffer, deterministic random
+// and SPD generators, and comparison utilities used by the validation tests
+// and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smpss {
+
+/// Owning, 64-byte-aligned, row-major n x n float matrix.
+class FlatMatrix {
+ public:
+  explicit FlatMatrix(int n);
+  ~FlatMatrix();
+  FlatMatrix(const FlatMatrix& o);
+  FlatMatrix& operator=(const FlatMatrix&) = delete;
+  FlatMatrix(FlatMatrix&& o) noexcept;
+
+  int n() const noexcept { return n_; }
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
+  float& at(int i, int j) noexcept {
+    return data_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  float at(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(i) * n_ + j];
+  }
+  std::size_t bytes() const noexcept {
+    return sizeof(float) * static_cast<std::size_t>(n_) * n_;
+  }
+
+ private:
+  int n_;
+  float* data_;
+};
+
+/// Uniform [-1, 1) entries, deterministic in `seed`.
+void fill_random(FlatMatrix& a, std::uint64_t seed);
+
+/// Symmetric positive definite: A = 0.5 R + 0.5 R^T scaled small + n on the
+/// diagonal (diagonally dominant, hence SPD and well-conditioned in float).
+void fill_spd(FlatMatrix& a, std::uint64_t seed);
+
+/// max_ij |a_ij - b_ij|.
+float max_abs_diff(const FlatMatrix& a, const FlatMatrix& b);
+
+/// max over the lower triangle only (Cholesky writes only the lower part).
+float max_abs_diff_lower(const FlatMatrix& a, const FlatMatrix& b);
+
+/// Frobenius norm.
+double frob_norm(const FlatMatrix& a);
+
+}  // namespace smpss

@@ -1,0 +1,91 @@
+#include "hyper/hyper_matrix.hpp"
+
+#include <cstring>
+
+#include "common/aligned_alloc.hpp"
+#include "common/cache.hpp"
+
+namespace smpss {
+
+HyperMatrix::HyperMatrix(int n, int m, bool allocate_all)
+    : n_(n), m_(m), blocks_(static_cast<std::size_t>(n) * n, nullptr) {
+  SMPSS_CHECK(n > 0 && m > 0, "hyper-matrix dimensions must be positive");
+  if (allocate_all) {
+    for (int i = 0; i < n_; ++i)
+      for (int j = 0; j < n_; ++j) ensure_block(i, j);
+  }
+}
+
+HyperMatrix::~HyperMatrix() {
+  for (float* b : blocks_)
+    if (b) aligned_free_bytes(b);
+}
+
+HyperMatrix::HyperMatrix(HyperMatrix&& o) noexcept
+    : n_(o.n_), m_(o.m_), blocks_(std::move(o.blocks_)) {
+  o.blocks_.clear();
+}
+
+float* HyperMatrix::ensure_block(int i, int j) {
+  float*& slot = blocks_[index(i, j)];
+  if (!slot) {
+    std::size_t bytes = sizeof(float) * block_elems();
+    slot = static_cast<float*>(aligned_alloc_bytes(bytes, kDataAlignment));
+    SMPSS_CHECK(slot != nullptr, "out of memory allocating block");
+    std::memset(slot, 0, bytes);
+  }
+  return slot;
+}
+
+std::size_t HyperMatrix::allocated_blocks() const noexcept {
+  std::size_t n = 0;
+  for (float* b : blocks_)
+    if (b) ++n;
+  return n;
+}
+
+void HyperMatrix::fill_zero() {
+  std::size_t bytes = sizeof(float) * block_elems();
+  for (float* b : blocks_)
+    if (b) std::memset(b, 0, bytes);
+}
+
+void blocked_from_flat(HyperMatrix& dst, const float* flat) {
+  const int n = dst.nblocks(), m = dst.block_dim();
+  const int lda = n * m;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      get_block(i, j, m, lda, flat, dst.ensure_block(i, j));
+}
+
+void flat_from_blocked(float* flat, const HyperMatrix& src) {
+  const int n = src.nblocks(), m = src.block_dim();
+  const int lda = n * m;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const float* b = src.block(i, j);
+      if (b) {
+        put_block(i, j, m, lda, b, flat);
+      } else {
+        for (int r = 0; r < m; ++r)
+          std::memset(flat + static_cast<std::size_t>(i * m + r) * lda + j * m,
+                      0, sizeof(float) * static_cast<std::size_t>(m));
+      }
+    }
+}
+
+void get_block(int i, int j, int m, int lda, const float* flat, float* block) {
+  for (int r = 0; r < m; ++r)
+    std::memcpy(block + static_cast<std::size_t>(r) * m,
+                flat + static_cast<std::size_t>(i * m + r) * lda + j * m,
+                sizeof(float) * static_cast<std::size_t>(m));
+}
+
+void put_block(int i, int j, int m, int lda, const float* block, float* flat) {
+  for (int r = 0; r < m; ++r)
+    std::memcpy(flat + static_cast<std::size_t>(i * m + r) * lda + j * m,
+                block + static_cast<std::size_t>(r) * m,
+                sizeof(float) * static_cast<std::size_t>(m));
+}
+
+}  // namespace smpss

@@ -1,0 +1,77 @@
+// Hyper-matrices (paper Sec. IV): "1-level hyper-matrices of N by N blocks,
+// each of M by M elements" — an N x N array of pointers to contiguous
+// M x M row-major blocks. NULL entries make the same structure serve the
+// sparse algorithms of Fig. 3 ("This code dynamically allocates memory and
+// executes tasks according to the data needs").
+//
+// Blocks are allocated cache-line aligned, one allocation per block, because
+// block addresses are exactly the task-parameter addresses the dependency
+// analyzer keys on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace smpss {
+
+class HyperMatrix {
+ public:
+  /// n x n blocks of m x m floats; `allocate_all` false starts fully sparse.
+  HyperMatrix(int n, int m, bool allocate_all = true);
+  ~HyperMatrix();
+
+  HyperMatrix(const HyperMatrix&) = delete;
+  HyperMatrix& operator=(const HyperMatrix&) = delete;
+  HyperMatrix(HyperMatrix&& o) noexcept;
+
+  int nblocks() const noexcept { return n_; }
+  int block_dim() const noexcept { return m_; }
+  std::size_t block_elems() const noexcept {
+    return static_cast<std::size_t>(m_) * m_;
+  }
+
+  /// Block pointer (may be nullptr in sparse use).
+  float* block(int i, int j) noexcept { return blocks_[index(i, j)]; }
+  const float* block(int i, int j) const noexcept {
+    return blocks_[index(i, j)];
+  }
+
+  bool present(int i, int j) const noexcept {
+    return blocks_[index(i, j)] != nullptr;
+  }
+
+  /// Allocate (zero-filled) block if absent; returns it (the alloc_block()
+  /// of Fig. 3 / Fig. 10).
+  float* ensure_block(int i, int j);
+
+  std::size_t allocated_blocks() const noexcept;
+
+  /// Set every allocated block to zero.
+  void fill_zero();
+
+ private:
+  std::size_t index(int i, int j) const noexcept {
+    SMPSS_ASSERT(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return static_cast<std::size_t>(i) * n_ + j;
+  }
+
+  int n_;
+  int m_;
+  std::vector<float*> blocks_;
+};
+
+/// Copy a flat n*m x n*m row-major matrix into (dense) hyper-matrix form.
+void blocked_from_flat(HyperMatrix& dst, const float* flat);
+
+/// Copy a hyper-matrix back to flat row-major form; absent blocks write 0.
+void flat_from_blocked(float* flat, const HyperMatrix& src);
+
+/// The get_block/put_block task bodies of Fig. 10: copy one m x m block
+/// between a flat n*m x n*m matrix (opaque to the runtime) and contiguous
+/// block storage. `lda` is the flat leading dimension (= n*m).
+void get_block(int i, int j, int m, int lda, const float* flat, float* block);
+void put_block(int i, int j, int m, int lda, const float* block, float* flat);
+
+}  // namespace smpss

@@ -1,0 +1,64 @@
+// Runtime configuration. Defaults follow the paper; every knob is also
+// readable from the environment (the original SMPSs distribution was
+// configured through CSS_* variables such as CSS_NUM_CPUS — we use the
+// SMPSS_ prefix).
+//
+//   SMPSS_NUM_THREADS       total threads including the main thread
+//   SMPSS_TASK_WINDOW       graph-size blocking condition (live tasks)
+//   SMPSS_RENAME_MEMORY_MB  renamed-storage blocking condition
+//   SMPSS_RENAMING          0/1 — disable/enable renaming
+//   SMPSS_SCHEDULER         distributed | centralized
+//   SMPSS_STEAL_ORDER       creation | random
+//   SMPSS_PIN_THREADS       0/1
+//   SMPSS_TRACE             0/1 — record per-task timing events
+//   SMPSS_RECORD_GRAPH      0/1 — record nodes/edges for DOT export
+#pragma once
+
+#include <cstddef>
+
+#include "sched/ready_lists.hpp"
+
+namespace smpss {
+
+struct Config {
+  /// Total threads, main thread included ("the runtime creates as many
+  /// worker threads as necessary to fill out the rest of the cores").
+  /// 0 means use all available cores.
+  unsigned num_threads = 0;
+
+  /// Graph-size blocking condition: when the number of live (not yet
+  /// completed) tasks reaches this, the main thread behaves as a worker
+  /// until it drops below `task_window_low`.
+  std::size_t task_window = 8192;
+  std::size_t task_window_low = 0;  ///< 0 means task_window/2
+
+  /// Renamed-storage blocking condition, in bytes.
+  std::size_t rename_memory_limit = std::size_t(512) << 20;
+
+  /// Data renaming (paper default on; off reproduces a dependency-unaware
+  /// WAR/WAW-edge runtime for the ablation benches).
+  bool renaming = true;
+
+  SchedulerMode scheduler_mode = SchedulerMode::Distributed;
+  StealOrder steal_order = StealOrder::CreationOrder;
+
+  /// Record task nodes/edges for DOT export and graph statistics.
+  bool record_graph = false;
+
+  /// Record per-task execution events (timeline / Paraver export).
+  bool tracing = false;
+
+  /// Pin threads round-robin over the allowed CPUs.
+  bool pin_threads = false;
+
+  /// Failed acquire passes before a worker blocks on the idle gate.
+  unsigned spin_acquires = 128;
+
+  /// Defaults overridden by SMPSS_* environment variables.
+  static Config from_env();
+
+  /// Clamp/derive dependent fields; called by the Runtime constructor.
+  void normalize();
+};
+
+}  // namespace smpss

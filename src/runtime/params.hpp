@@ -1,0 +1,186 @@
+// Typed parameter wrappers — the C++ rendering of the `#pragma css task`
+// directionality clauses (paper Sec. II). Annotating a call site
+//
+//     #pragma css task input(a, b) inout(c)
+//     void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+//
+// becomes
+//
+//     rt.spawn(sgemm, smpss::in(a, M*M), smpss::in(b, M*M),
+//                      smpss::inout(c, M*M));
+//
+// The wrappers carry exactly what the paper's compiler forwards to the
+// runtime: address, size, directionality, and optionally an array region
+// (Sec. V.A). `value()` passes scalars by copy (the paper's non-pointer
+// parameters); `opaque()` is the paper's `void*` escape hatch — "opaque
+// pointers pass through the runtime unaltered and are not considered in the
+// task dependency analysis".
+//
+// At execution time the runtime substitutes renamed storage for the
+// directional pointers, so task bodies must only touch memory through the
+// parameters they were handed.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "dep/access.hpp"
+#include "dep/region.hpp"
+
+namespace smpss {
+
+template <typename T>
+struct InParam {
+  const T* ptr;
+  std::size_t count;
+};
+template <typename T>
+struct OutParam {
+  T* ptr;
+  std::size_t count;
+};
+template <typename T>
+struct InOutParam {
+  T* ptr;
+  std::size_t count;
+};
+template <typename T>
+struct ValParam {
+  T value;
+};
+template <typename T>
+struct OpaqueParam {
+  T* ptr;
+};
+template <typename T>
+struct RegionParam {
+  T* base;
+  Region region;
+  Dir dir;
+};
+
+// --- factory functions -------------------------------------------------------
+
+template <typename T>
+InParam<T> in(const T* p, std::size_t count = 1) {
+  return {p, count};
+}
+template <typename T>
+OutParam<T> out(T* p, std::size_t count = 1) {
+  return {p, count};
+}
+template <typename T>
+InOutParam<T> inout(T* p, std::size_t count = 1) {
+  return {p, count};
+}
+template <typename T>
+ValParam<std::decay_t<T>> value(T&& v) {
+  return {std::forward<T>(v)};
+}
+template <typename T>
+OpaqueParam<T> opaque(T* p) {
+  return {p};
+}
+
+/// Region-qualified accesses (Sec. V.A). The region is given in element
+/// units; elem_bytes is filled in from T.
+template <typename T>
+RegionParam<const T> in(const T* base, Region r) {
+  r.set_elem_bytes(sizeof(T));
+  return {base, r, Dir::In};
+}
+template <typename T>
+RegionParam<T> out(T* base, Region r) {
+  r.set_elem_bytes(sizeof(T));
+  return {base, r, Dir::Out};
+}
+template <typename T>
+RegionParam<T> inout(T* base, Region r) {
+  r.set_elem_bytes(sizeof(T));
+  return {base, r, Dir::InOut};
+}
+
+// --- traits used by the spawn machinery --------------------------------------
+
+namespace detail {
+
+template <typename P>
+struct ParamTraits;  // primary: not a parameter wrapper
+
+template <typename T>
+struct ParamTraits<InParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = const T*;
+  static AccessDesc desc(const InParam<T>& p) {
+    return AccessDesc{const_cast<T*>(p.ptr), p.count * sizeof(T), Dir::In,
+                      false, Region{}};
+  }
+  static arg_type resolve(const InParam<T>&, void* storage) {
+    return static_cast<const T*>(storage);
+  }
+  static arg_type raw(const InParam<T>& p) { return p.ptr; }
+};
+
+template <typename T>
+struct ParamTraits<OutParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = T*;
+  static AccessDesc desc(const OutParam<T>& p) {
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::Out, false, Region{}};
+  }
+  static arg_type resolve(const OutParam<T>&, void* storage) {
+    return static_cast<T*>(storage);
+  }
+  static arg_type raw(const OutParam<T>& p) { return p.ptr; }
+};
+
+template <typename T>
+struct ParamTraits<InOutParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = T*;
+  static AccessDesc desc(const InOutParam<T>& p) {
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::InOut, false, Region{}};
+  }
+  static arg_type resolve(const InOutParam<T>&, void* storage) {
+    return static_cast<T*>(storage);
+  }
+  static arg_type raw(const InOutParam<T>& p) { return p.ptr; }
+};
+
+template <typename T>
+struct ParamTraits<RegionParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = T*;
+  static AccessDesc desc(const RegionParam<T>& p) {
+    return AccessDesc{const_cast<std::remove_const_t<T>*>(p.base),
+                      /*bytes=*/0, p.dir, true, p.region};
+  }
+  static arg_type resolve(const RegionParam<T>&, void* storage) {
+    return static_cast<T*>(storage);
+  }
+  static arg_type raw(const RegionParam<T>& p) { return p.base; }
+};
+
+template <typename T>
+struct ParamTraits<ValParam<T>> {
+  static constexpr bool directional = false;
+  using arg_type = const T&;
+  static arg_type resolve(const ValParam<T>& p, void*) { return p.value; }
+  static arg_type raw(const ValParam<T>& p) { return p.value; }
+};
+
+template <typename T>
+struct ParamTraits<OpaqueParam<T>> {
+  static constexpr bool directional = false;
+  using arg_type = T*;
+  static arg_type resolve(const OpaqueParam<T>& p, void*) { return p.ptr; }
+  static arg_type raw(const OpaqueParam<T>& p) { return p.ptr; }
+};
+
+template <typename P>
+concept TaskParam = requires { ParamTraits<std::decay_t<P>>::directional; };
+
+}  // namespace detail
+}  // namespace smpss

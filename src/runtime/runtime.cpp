@@ -1,0 +1,249 @@
+#include "runtime/runtime.hpp"
+
+#include "common/affinity.hpp"
+#include "common/timing.hpp"
+#include "runtime/worker.hpp"
+
+namespace smpss {
+
+Runtime::Runtime(Config cfg)
+    : cfg_([&] {
+        cfg.normalize();
+        return cfg;
+      }()),
+      main_thread_id_(std::this_thread::get_id()),
+      pool_(cfg_.rename_memory_limit),
+      dep_(pool_, cfg_.renaming, &recorder_),
+      regions_(&recorder_),
+      ready_(cfg_.num_threads, cfg_.scheduler_mode, cfg_.steal_order) {
+  recorder_.set_enabled(cfg_.record_graph);
+  tracer_.init(cfg_.num_threads, cfg_.tracing);
+  types_.push_back(TaskTypeInfo{"task", false});
+
+  worker_state_ = std::make_unique<WorkerState[]>(cfg_.num_threads);
+  for (unsigned i = 0; i < cfg_.num_threads; ++i)
+    worker_state_[i].rng = Xoshiro256(0x5eed + i);
+
+  if (cfg_.pin_threads) pin_current_thread(0);
+  threads_.reserve(cfg_.num_threads - 1);
+  for (unsigned tid = 1; tid < cfg_.num_threads; ++tid)
+    threads_.emplace_back([this, tid] { worker_main(*this, tid); });
+}
+
+Runtime::~Runtime() {
+  barrier();
+  shutdown_.store(true, std::memory_order_release);
+  gate_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+TaskType Runtime::register_task_type(std::string name, bool high_priority) {
+  SMPSS_CHECK(on_main_thread(), "register_task_type is main-thread-only");
+  types_.push_back(TaskTypeInfo{std::move(name), high_priority});
+  return TaskType{static_cast<std::uint32_t>(types_.size() - 1)};
+}
+
+void* Runtime::route_access(TaskNode* t, const AccessDesc& d) {
+  SMPSS_CHECK(d.addr != nullptr, "null pointer passed as task parameter");
+  if (d.has_region) {
+    SMPSS_CHECK(!dep_.tracks(d.addr),
+                "array accessed both with and without region specifiers");
+    return regions_.process(t, d);
+  }
+  SMPSS_CHECK(!regions_.tracks(d.addr),
+              "array accessed both with and without region specifiers");
+  SMPSS_CHECK(d.bytes > 0, "task parameter with zero size");
+  return dep_.process(t, d);
+}
+
+void Runtime::submit(TaskNode* t) {
+  ++spawned_;
+  tasks_live_.fetch_add(1, std::memory_order_relaxed);
+
+  // Release the creation guard; a task with no unsatisfied inputs "is moved
+  // into the main ready list or the high priority list" (Sec. III).
+  if (t->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ++ready_at_creation_;
+    enqueue_ready(t, /*tid=*/0, /*at_creation=*/true);
+  }
+
+  // Blocking conditions (Sec. III): "Whenever it reaches a blocking
+  // condition (a barrier, a memory limit, or a graph size limit), it behaves
+  // as a worker thread until an unblocking condition is reached."
+  if (tasks_live_.load(std::memory_order_relaxed) >= cfg_.task_window) {
+    ++blocked_window_;
+    while (tasks_live_.load(std::memory_order_acquire) > cfg_.task_window_low)
+      help_once();
+  }
+  if (pool_.over_limit()) {
+    ++blocked_memory_;
+    while (pool_.over_limit() &&
+           tasks_live_.load(std::memory_order_acquire) > 0)
+      help_once();
+  }
+}
+
+void Runtime::enqueue_ready(TaskNode* t, unsigned tid, bool at_creation) {
+  if (t->high_priority) {
+    ready_.push_high(t);
+    gate_.notify_one();
+    return;
+  }
+  if (at_creation) {
+    ready_.push_main(t);
+    gate_.notify_one();
+    return;
+  }
+  // "Each worker thread has its own ready list that contains tasks whose
+  // last input dependency has been removed by that thread." The pusher will
+  // pop this task itself on its next acquire; only wake a sleeper when a
+  // backlog builds up that a thief could take.
+  ready_.push_local(tid, t);
+  if (ready_.local_size_estimate(tid) > 1) gate_.notify_one();
+}
+
+TaskNode* Runtime::acquire(unsigned tid) {
+  WorkerState& ws = worker_state_[tid];
+  AcquireSource src;
+  unsigned attempts = 0;
+  TaskNode* t = ready_.acquire(tid, ws.rng, src, attempts);
+  ws.counters.steal_attempts += attempts;
+  switch (src) {
+    case AcquireSource::HighPriority: ++ws.counters.acquired_high; break;
+    case AcquireSource::OwnList: ++ws.counters.acquired_own; break;
+    case AcquireSource::MainList: ++ws.counters.acquired_main; break;
+    case AcquireSource::Steal: ++ws.counters.steals; break;
+    case AcquireSource::None: break;
+  }
+  return t;
+}
+
+namespace {
+// Set while a thread runs a task body; nested spawns check it so that task
+// calls inside tasks stay plain function calls even when the main thread is
+// the one executing (barrier/window/memory blocking conditions).
+thread_local bool tl_in_task_body = false;
+}  // namespace
+
+bool Runtime::in_task_context() noexcept { return tl_in_task_body; }
+
+void Runtime::execute_task(TaskNode* t, unsigned tid) {
+  WorkerState& ws = worker_state_[tid];
+
+  std::uint64_t t0 = 0;
+  if (tracer_.enabled()) t0 = now_ns();
+
+  tl_in_task_body = true;
+  t->run_body();
+  tl_in_task_body = false;
+
+  if (tracer_.enabled()) {
+    std::uint64_t t1 = now_ns();
+    ws.counters.task_ns += t1 - t0;
+    tracer_.record(tid, TraceEvent{t->seq, t->type_id, tid, t0, t1});
+  }
+
+  // Publish produced versions before releasing successors.
+  for (Version* v : t->produces) v->mark_produced();
+
+  auto successors = t->take_successors_and_complete();
+  for (TaskNode* s : successors) {
+    if (s->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      enqueue_ready(s, tid, /*at_creation=*/false);
+  }
+
+  // Retire data tokens: reader marks first (so WAR decisions see the truth),
+  // then user-storage quiescence, then lifetime refs.
+  for (Version* v : t->reads) v->reader_finished(pool_);
+  for (std::atomic<int>* slot : t->user_pending_slots)
+    slot->fetch_sub(1, std::memory_order_release);
+  for (Version* v : t->produces) v->release(pool_);
+
+  ++ws.counters.executed;
+
+  if (tasks_live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    gate_.notify_all();  // wake a barrier-waiting main thread
+  }
+  t->release();
+}
+
+void Runtime::help_once() {
+  if (TaskNode* t = acquire(0)) {
+    execute_task(t, 0);
+    return;
+  }
+  std::uint64_t seen = gate_.prepare_wait();
+  if (TaskNode* t = acquire(0)) {
+    execute_task(t, 0);
+    return;
+  }
+  if (tasks_live_.load(std::memory_order_acquire) == 0) return;
+  gate_.wait(seen, std::chrono::microseconds(200));
+}
+
+void Runtime::barrier() {
+  SMPSS_CHECK(on_main_thread(), "barrier is main-thread-only");
+  while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
+  // All tasks retired: realign renamed data into program storage and drop
+  // all dependency state; the next spawn starts from a clean slate.
+  dep_.flush_all();
+  regions_.flush_all();
+  ++barriers_;
+}
+
+void Runtime::wait_on_addr(const void* addr) {
+  SMPSS_CHECK(on_main_thread(), "wait_on is main-thread-only");
+  if (regions_.tracks(addr)) {
+    // Region-tracked arrays have no single "latest version"; conservatively
+    // drain all tasks (data stays in place for regions, so no copy-back).
+    while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
+    return;
+  }
+  DataEntry* e = dep_.find(addr);
+  if (!e) return;  // never written by a task: nothing to wait for
+  while (!(e->latest->is_produced() &&
+           e->user_storage_pending.load(std::memory_order_acquire) == 0)) {
+    help_once();
+  }
+  dep_.copy_back_latest(*e);
+}
+
+StatsSnapshot Runtime::stats() const {
+  StatsSnapshot s;
+  s.tasks_spawned = spawned_;
+  s.tasks_inlined = inlined_.load(std::memory_order_relaxed);
+  s.ready_at_creation = ready_at_creation_;
+  s.barriers = barriers_;
+  s.main_blocked_on_window = blocked_window_;
+  s.main_blocked_on_memory = blocked_memory_;
+
+  const auto& dc = dep_.counters();
+  const auto& rc = regions_.counters();
+  s.raw_edges = dc.raw_edges + rc.raw_edges;
+  s.war_edges = dc.war_edges + rc.war_edges;
+  s.waw_edges = dc.waw_edges + rc.waw_edges;
+  s.renames = pool_.rename_count();
+  s.rename_bytes_total = pool_.total_bytes();
+  s.rename_bytes_peak = pool_.peak_bytes();
+  s.in_place_reuses = dc.in_place_reuses;
+  s.copy_ins = dc.copy_ins;
+  s.copy_in_bytes = dc.copy_in_bytes;
+  s.copyback_bytes = dc.copyback_bytes;
+  s.tracked_objects = dc.tracked_objects;
+  s.region_accesses = rc.accesses;
+
+  for (unsigned i = 0; i < cfg_.num_threads; ++i) {
+    const WorkerCounters& w = worker_state_[i].counters;
+    s.tasks_executed += w.executed;
+    s.steals += w.steals;
+    s.steal_attempts += w.steal_attempts;
+    s.acquired_high += w.acquired_high;
+    s.acquired_own += w.acquired_own;
+    s.acquired_main += w.acquired_main;
+    s.idle_sleeps += w.idle_sleeps;
+    s.task_ns += w.task_ns;
+  }
+  return s;
+}
+
+}  // namespace smpss

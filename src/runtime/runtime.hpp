@@ -1,0 +1,225 @@
+// smpss::Runtime — the public entry point of the library.
+//
+// An SMPSs program is a sequential program whose annotated functions become
+// tasks (paper Sec. II). With this library the annotation is the spawn call:
+//
+//     smpss::Runtime rt;
+//     auto sgemm_t = rt.register_task_type("sgemm_t");
+//     for (int i = 0; i < N; i++)
+//       for (int j = 0; j < N; j++)
+//         for (int k = 0; k < N; k++)
+//           rt.spawn(sgemm_t, sgemm_kernel,
+//                    smpss::in(A[i][k], M*M), smpss::in(B[k][j], M*M),
+//                    smpss::inout(C[i][j], M*M));
+//     rt.barrier();
+//
+// The runtime analyzes parameter dependencies at each invocation, renames
+// data to remove WAR/WAW hazards, builds the task graph, and schedules ready
+// tasks over the worker threads with the locality policy of Sec. III.
+//
+// Threading contract: spawn/barrier/wait_on are main-thread calls (the
+// thread that constructed the Runtime). A spawn issued from inside a task
+// executes the function inline, mirroring the paper's "task calls inside
+// tasks are treated as normal function calls".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dep/dependency_analyzer.hpp"
+#include "dep/region_analyzer.hpp"
+#include "dep/renaming.hpp"
+#include "graph/graph_recorder.hpp"
+#include "graph/task.hpp"
+#include "runtime/config.hpp"
+#include "runtime/params.hpp"
+#include "runtime/spawn_closure.hpp"
+#include "runtime/stats.hpp"
+#include "sched/idle_wait.hpp"
+#include "sched/ready_lists.hpp"
+#include "trace/tracer.hpp"
+
+namespace smpss {
+
+/// Registered task-kind metadata (name for traces/DOT, scheduling priority —
+/// the `highpriority` clause of the task construct).
+struct TaskTypeInfo {
+  std::string name;
+  bool high_priority = false;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config cfg = Config::from_env());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- task types -----------------------------------------------------------
+
+  /// Declare a task kind. Mirrors `#pragma css task [highpriority]` on a
+  /// function declaration. Main thread only.
+  TaskType register_task_type(std::string name, bool high_priority = false);
+
+  const std::vector<TaskTypeInfo>& task_types() const noexcept {
+    return types_;
+  }
+
+  // --- task spawning ----------------------------------------------------------
+
+  /// Invoke `fn` as a task of kind `type`. Parameters must be wrapped with
+  /// smpss::in/out/inout/value/opaque (see runtime/params.hpp); at execution
+  /// `fn` receives the resolved (possibly renamed) pointers in the same
+  /// order.
+  template <typename F, detail::TaskParam... Ps>
+  void spawn(TaskType type, F&& fn, Ps&&... ps) {
+    if (!on_main_thread() || in_task_context()) {
+      // Sec. VII.D: a task call inside a task is a normal function call.
+      // The check covers worker threads AND the main thread while it is
+      // executing tasks at a blocking condition.
+      detail::invoke_inline(std::forward<F>(fn), std::forward<Ps>(ps)...);
+      inlined_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    SMPSS_CHECK(type.id < types_.size(), "unregistered task type");
+    auto* t = new TaskNode();
+    t->seq = ++seq_;
+    t->type_id = type.id;
+    t->high_priority = types_[type.id].high_priority;
+
+    using C = detail::Closure<std::decay_t<F>, std::decay_t<Ps>...>;
+    void* mem = t->allocate_closure(sizeof(C), alignof(C));
+    C* closure = ::new (mem)
+        C{std::forward<F>(fn), std::tuple<std::decay_t<Ps>...>(
+                                   std::forward<Ps>(ps)...)};
+    t->set_vtable(&C::vtable);
+
+    recorder_.record_node(t->seq, t->type_id);
+
+    // Analyze directional parameters in declaration order.
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (analyze_param<Is>(closure, t), ...);
+    }(std::index_sequence_for<Ps...>{});
+
+    submit(t);
+  }
+
+  /// Spawn with the default (anonymous) task type.
+  template <typename F, detail::TaskParam... Ps>
+    requires(!std::is_same_v<std::decay_t<F>, TaskType>)
+  void spawn(F&& fn, Ps&&... ps) {
+    spawn(TaskType{0}, std::forward<F>(fn), std::forward<Ps>(ps)...);
+  }
+
+  // --- synchronization ---------------------------------------------------------
+
+  /// Wait for all spawned tasks, then realign renamed data back into the
+  /// program's own storage. Equivalent to `#pragma css barrier`. The main
+  /// thread executes tasks while it waits (Sec. III).
+  void barrier();
+
+  /// Wait until the latest version of `*ptr` has been produced, then copy it
+  /// back to the program's storage so the main code can read it. Equivalent
+  /// to CellSs/SMPSs `#pragma css wait on(ptr)`. Grants read access only;
+  /// use barrier() before writing from main code.
+  template <typename T>
+  void wait_on(const T* ptr) {
+    wait_on_addr(static_cast<const void*>(ptr));
+  }
+
+  // --- introspection ------------------------------------------------------------
+
+  StatsSnapshot stats() const;
+  const Config& config() const noexcept { return cfg_; }
+  unsigned num_threads() const noexcept { return cfg_.num_threads; }
+
+  GraphRecorder& graph_recorder() noexcept { return recorder_; }
+  const GraphRecorder& graph_recorder() const noexcept { return recorder_; }
+
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+  const RenamePool& rename_pool() const noexcept { return pool_; }
+
+  /// Live (spawned, not yet completed) task count. Racy, monitoring only.
+  std::size_t live_tasks() const noexcept {
+    return tasks_live_.load(std::memory_order_relaxed);
+  }
+
+  bool on_main_thread() const noexcept {
+    return std::this_thread::get_id() == main_thread_id_;
+  }
+
+  /// True while the calling thread is inside a task body (any Runtime).
+  static bool in_task_context() noexcept;
+
+ private:
+  friend void worker_main(Runtime& rt, unsigned tid);
+
+  /// Per-thread scheduling state, padded against false sharing.
+  struct alignas(kCacheLineSize) WorkerState {
+    WorkerCounters counters;
+    Xoshiro256 rng;
+  };
+
+  template <std::size_t I, typename C>
+  void analyze_param(C* closure, TaskNode* t) {
+    using P = std::tuple_element_t<I, decltype(closure->params)>;
+    if constexpr (detail::ParamTraits<P>::directional) {
+      AccessDesc d = detail::ParamTraits<P>::desc(std::get<I>(closure->params));
+      t->resolved.push_back(route_access(t, d));
+    }
+  }
+
+  /// Dispatch one access to the address-mode or region-mode analyzer,
+  /// diagnosing mixed-mode use of one array.
+  void* route_access(TaskNode* t, const AccessDesc& d);
+
+  /// Account the new task, release its creation guard, then apply the
+  /// Sec. III blocking conditions (task window, rename-memory limit).
+  void submit(TaskNode* t);
+
+  void enqueue_ready(TaskNode* t, unsigned tid, bool at_creation);
+  TaskNode* acquire(unsigned tid);
+  void execute_task(TaskNode* t, unsigned tid);
+
+  /// Run one task on the main thread, or briefly sleep if none is ready.
+  void help_once();
+
+  void wait_on_addr(const void* addr);
+
+  Config cfg_;
+  std::thread::id main_thread_id_;
+  RenamePool pool_;
+  GraphRecorder recorder_;
+  DependencyAnalyzer dep_;
+  RegionAnalyzer regions_;
+  ReadyLists<TaskNode> ready_;
+  IdleGate gate_;
+  Tracer tracer_;
+
+  std::vector<TaskTypeInfo> types_;
+  std::unique_ptr<WorkerState[]> worker_state_;  // [0]=main, [1..n-1]=workers
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::size_t> tasks_live_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> inlined_{0};
+
+  // main-thread-only counters
+  std::uint64_t seq_ = 0;
+  std::uint64_t spawned_ = 0;
+  std::uint64_t ready_at_creation_ = 0;
+  std::uint64_t barriers_ = 0;
+  std::uint64_t blocked_window_ = 0;
+  std::uint64_t blocked_memory_ = 0;
+};
+
+}  // namespace smpss

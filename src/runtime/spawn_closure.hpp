@@ -1,0 +1,71 @@
+// Type-erased task closures. One concrete Closure<F, Ps...> instantiation
+// per (task function, parameter-wrapper signature) pair; the vtable gives
+// TaskNode a uniform two-pointer handle on it.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+#include "graph/task.hpp"
+#include "runtime/params.hpp"
+
+namespace smpss::detail {
+
+/// Number of directional parameters among Ps.
+template <typename... Ps>
+constexpr std::size_t directional_count() {
+  return (0 + ... + (ParamTraits<Ps>::directional ? 1 : 0));
+}
+
+/// Index into the resolved-storage array for parameter I (number of
+/// directional parameters preceding it).
+template <std::size_t I, typename... Ps>
+constexpr std::size_t resolved_slot() {
+  constexpr bool dir[] = {ParamTraits<Ps>::directional..., false};
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < I; ++k) n += dir[k] ? 1 : 0;
+  return n;
+}
+
+template <typename F, typename... Ps>
+struct Closure {
+  F fn;
+  std::tuple<Ps...> params;
+
+  template <std::size_t I>
+  decltype(auto) arg(void* const* resolved) {
+    using P = std::tuple_element_t<I, std::tuple<Ps...>>;
+    if constexpr (ParamTraits<P>::directional) {
+      return ParamTraits<P>::resolve(std::get<I>(params),
+                                     resolved[resolved_slot<I, Ps...>()]);
+    } else {
+      return ParamTraits<P>::resolve(std::get<I>(params), nullptr);
+    }
+  }
+
+  template <std::size_t... Is>
+  void call(void* const* resolved, std::index_sequence<Is...>) {
+    fn(arg<Is>(resolved)...);
+  }
+
+  static void invoke(void* self, void* const* resolved) {
+    static_cast<Closure*>(self)->call(resolved,
+                                      std::index_sequence_for<Ps...>{});
+  }
+  static void destroy(void* self) noexcept {
+    static_cast<Closure*>(self)->~Closure();
+  }
+
+  static constexpr ClosureVTable vtable{&Closure::invoke, &Closure::destroy};
+};
+
+/// Nested task calls are executed inline as plain function calls
+/// (paper Sec. VII.D: "SMPSs treats task calls inside tasks as normal
+/// function calls") — the function sees the program's own pointers.
+template <typename F, typename... Ps>
+void invoke_inline(F&& fn, Ps&&... ps) {
+  std::forward<F>(fn)(ParamTraits<std::decay_t<Ps>>::raw(ps)...);
+}
+
+}  // namespace smpss::detail

@@ -1,0 +1,60 @@
+// Runtime statistics: per-worker padded counters plus main-thread counters,
+// flattened into a StatsSnapshot on demand. The ablation benches and several
+// tests key off these (e.g. "Strassen is an intensive renaming test case" is
+// asserted via renames > 0, locality via steal ratios).
+#pragma once
+
+#include <cstdint>
+
+#include "common/cache.hpp"
+
+namespace smpss {
+
+/// Written by exactly one worker; padded to avoid false sharing.
+struct alignas(kCacheLineSize) WorkerCounters {
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t acquired_high = 0;
+  std::uint64_t acquired_own = 0;
+  std::uint64_t acquired_main = 0;
+  std::uint64_t idle_sleeps = 0;
+  std::uint64_t task_ns = 0;  ///< accumulated body time (tracing only)
+};
+
+/// Aggregate view returned by Runtime::stats().
+struct StatsSnapshot {
+  // creation side (main thread)
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_inlined = 0;  ///< nested spawns run as function calls
+  std::uint64_t ready_at_creation = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t main_blocked_on_window = 0;
+  std::uint64_t main_blocked_on_memory = 0;
+
+  // dependency engine
+  std::uint64_t raw_edges = 0;
+  std::uint64_t war_edges = 0;
+  std::uint64_t waw_edges = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t rename_bytes_total = 0;
+  std::uint64_t rename_bytes_peak = 0;
+  std::uint64_t in_place_reuses = 0;
+  std::uint64_t copy_ins = 0;
+  std::uint64_t copy_in_bytes = 0;
+  std::uint64_t copyback_bytes = 0;
+  std::uint64_t tracked_objects = 0;
+  std::uint64_t region_accesses = 0;
+
+  // execution side (summed over workers)
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t acquired_high = 0;
+  std::uint64_t acquired_own = 0;
+  std::uint64_t acquired_main = 0;
+  std::uint64_t idle_sleeps = 0;
+  std::uint64_t task_ns = 0;
+};
+
+}  // namespace smpss

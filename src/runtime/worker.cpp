@@ -1,0 +1,46 @@
+#include "runtime/worker.hpp"
+
+#include "common/affinity.hpp"
+#include "common/spin.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+
+void worker_main(Runtime& rt, unsigned tid) {
+  if (rt.cfg_.pin_threads) pin_current_thread(tid);
+  WorkerCounters& wc = rt.worker_state_[tid].counters;
+
+  unsigned failures = 0;
+  Backoff backoff;
+  while (!rt.shutdown_.load(std::memory_order_acquire)) {
+    if (TaskNode* t = rt.acquire(tid)) {
+      rt.execute_task(t, tid);
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    if (++failures < rt.cfg_.spin_acquires) {
+      // Exponential backoff between probe passes: dozens of idle workers
+      // hammering the shared lists in lock-step would otherwise starve the
+      // main thread's task generation (its pushes fight their pops for the
+      // same cache lines).
+      backoff.pause();
+      continue;
+    }
+    // Two-phase sleep: snapshot the gate, re-try once, then block.
+    std::uint64_t seen = rt.gate_.prepare_wait();
+    if (TaskNode* t = rt.acquire(tid)) {
+      rt.execute_task(t, tid);
+      failures = 0;
+      backoff.reset();
+      continue;
+    }
+    if (rt.shutdown_.load(std::memory_order_acquire)) break;
+    ++wc.idle_sleeps;
+    rt.gate_.wait(seen, std::chrono::microseconds(500));
+    failures = 0;
+    backoff.reset();
+  }
+}
+
+}  // namespace smpss

@@ -1,0 +1,13 @@
+// Worker thread entry point. Declared separately so the loop can be unit-
+// tested and reused; the Runtime constructor launches one per extra core.
+#pragma once
+
+namespace smpss {
+
+class Runtime;
+
+/// Body of worker thread `tid` (1-based; 0 is the main thread). Runs the
+/// Sec. III acquire policy until the runtime shuts down.
+void worker_main(Runtime& rt, unsigned tid);
+
+}  // namespace smpss

@@ -1,0 +1,74 @@
+// Idle/wakeup coordination for worker threads.
+//
+// Workers that find no ready work spin briefly (task inter-arrival at the
+// paper's target granularity is short), then block on a condition variable.
+// Producers always bump an epoch (one relaxed-ish atomic on the hot path)
+// but only take the mutex to notify when a sleeper is registered, so fine-
+// grained task streams never serialize on the gate. The epoch recheck after
+// registering as a sleeper plus a bounded sleep make lost wakeups impossible
+// in the worst case (a worker re-polls after the timeout).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/cache.hpp"
+
+namespace smpss {
+
+class IdleGate {
+ public:
+  /// Consumer: snapshot to take *before* the final failed acquire attempt.
+  std::uint64_t prepare_wait() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Consumer: block until the epoch moves past `seen` or timeout. The
+  /// caller must have re-tried acquiring work between prepare_wait() and
+  /// this call.
+  void wait(std::uint64_t seen,
+            std::chrono::microseconds timeout = std::chrono::microseconds(500)) {
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (epoch_.load(std::memory_order_seq_cst) == seen) {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, timeout, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Producer: new work may be available.
+  void notify_all() noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      // The lock pairs the epoch bump with a waiter between its predicate
+      // check and its cv wait; without it the notify could fall in the gap.
+      { std::lock_guard<std::mutex> lk(mu_); }
+      cv_.notify_all();
+    }
+  }
+
+  void notify_one() noexcept {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      { std::lock_guard<std::mutex> lk(mu_); }
+      cv_.notify_one();
+    }
+  }
+
+  int sleepers() const noexcept {
+    return sleepers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> epoch_{0};
+  alignas(kCacheLineSize) std::atomic<int> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,86 @@
+// Unbounded MPMC FIFO used for the two global ready lists of paper Sec. III
+// (the high-priority list and the "main" list).
+//
+// These lists see far less traffic than the per-worker deques — they receive
+// only dependency-free tasks from the main thread and act as "a point of
+// distribution of tasks in areas of the graph that are not being explored" —
+// so a padded spin-locked intrusive list is both simple and fast enough.
+// Tasks are linked through an intrusive `next` pointer supplied by a traits
+// hook, so enqueueing never allocates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/cache.hpp"
+#include "common/check.hpp"
+#include "common/spin.hpp"
+
+namespace smpss {
+
+/// T must expose `T* queue_next` (only ever touched while inside a queue).
+template <typename T>
+class IntrusiveMpmcFifo {
+ public:
+  IntrusiveMpmcFifo() = default;
+  IntrusiveMpmcFifo(const IntrusiveMpmcFifo&) = delete;
+  IntrusiveMpmcFifo& operator=(const IntrusiveMpmcFifo&) = delete;
+
+  void push_back(T* item) noexcept {
+    item->queue_next = nullptr;
+    lock_.lock();
+    if (tail_) {
+      tail_->queue_next = item;
+    } else {
+      head_ = item;
+    }
+    tail_ = item;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    lock_.unlock();
+  }
+
+  T* pop_front() noexcept {
+    // Fast-path reject without taking the lock; size_ is monotonic enough
+    // for this (a false empty is re-checked by the scheduler loop).
+    if (size_.load(std::memory_order_relaxed) == 0) return nullptr;
+    lock_.lock();
+    T* item = pop_front_locked();
+    lock_.unlock();
+    return item;
+  }
+
+  /// Non-blocking pop: gives up immediately when another thread holds the
+  /// lock. Lets a crowd of work-seeking consumers fall through to stealing
+  /// instead of convoying here against the producer's push.
+  T* try_pop_front() noexcept {
+    if (size_.load(std::memory_order_relaxed) == 0) return nullptr;
+    if (!lock_.try_lock()) return nullptr;
+    T* item = pop_front_locked();
+    lock_.unlock();
+    return item;
+  }
+
+  std::size_t size_estimate() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  bool empty_estimate() const noexcept { return size_estimate() == 0; }
+
+ private:
+  T* pop_front_locked() noexcept {
+    T* item = head_;
+    if (item) {
+      head_ = item->queue_next;
+      if (!head_) tail_ = nullptr;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      item->queue_next = nullptr;
+    }
+    return item;
+  }
+
+  alignas(kCacheLineSize) SpinLock lock_;
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  alignas(kCacheLineSize) std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace smpss

@@ -1,0 +1,159 @@
+// The SMPSs ready-task structure, paper Sec. III verbatim:
+//
+//   "There are two main ready lists, one for high priority tasks and one for
+//    normal priority tasks. [...] Each worker thread has its own ready list
+//    that contains tasks whose last input dependency has been removed by
+//    that thread. [...] Threads look up ready tasks first in the high
+//    priority list. If it is empty, then they look up their own ready list.
+//    If they do not succeed, they proceed to check out the main ready list.
+//    In case of failure, they proceed to steal work from other threads in
+//    creation order starting from the next one. Threads consume tasks from
+//    their own list in LIFO order, they get tasks from the main list in FIFO
+//    order, and they steal from other threads in FIFO order."
+//
+// Two ablation knobs probe the design choices: SchedulerMode::Centralized
+// collapses the per-worker lists into the main FIFO (the SuperMatrix-style
+// single ready queue of Sec. VII.C), and StealOrder::Random replaces the
+// creation-order victim walk.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sched/chase_lev_deque.hpp"
+#include "sched/mpmc_queue.hpp"
+
+namespace smpss {
+
+enum class SchedulerMode : unsigned char {
+  Distributed,  ///< per-worker lists + stealing (the paper's design)
+  Centralized,  ///< single shared FIFO (SuperMatrix-like ablation)
+};
+
+enum class StealOrder : unsigned char {
+  CreationOrder,  ///< victims visited in thread-creation order (the paper)
+  Random,         ///< victims visited in random order (ablation)
+};
+
+const char* to_string(SchedulerMode m) noexcept;
+const char* to_string(StealOrder o) noexcept;
+
+/// Result detail of an acquire, for the steal statistics.
+enum class AcquireSource : unsigned char {
+  None,
+  HighPriority,
+  OwnList,
+  MainList,
+  Steal,
+};
+
+template <typename T>
+class ReadyLists {
+ public:
+  ReadyLists(unsigned nthreads, SchedulerMode mode, StealOrder order)
+      : nthreads_(nthreads), mode_(mode), order_(order) {
+    SMPSS_CHECK(nthreads >= 1, "need at least one thread");
+    if (mode_ == SchedulerMode::Distributed) {
+      local_.reserve(nthreads);
+      for (unsigned i = 0; i < nthreads; ++i)
+        local_.push_back(std::make_unique<ChaseLevDeque<T>>());
+    }
+  }
+
+  /// High-priority tasks are "scheduled as soon as possible independently of
+  /// any locality consideration".
+  void push_high(T* t) { high_.push_back(t); }
+
+  /// Dependency-free tasks from the main thread: "a point of distribution of
+  /// tasks in areas of the graph that are not being explored".
+  void push_main(T* t) { main_.push_back(t); }
+
+  /// Task whose last input dependency was removed by thread `tid`.
+  void push_local(unsigned tid, T* t) {
+    if (mode_ == SchedulerMode::Distributed) {
+      local_[tid]->push_bottom(t);
+    } else {
+      main_.push_back(t);
+    }
+  }
+
+  /// One full pass of the Sec. III lookup policy. `source` reports where the
+  /// task came from (None on failure); `steal_attempts` counts victims
+  /// probed.
+  T* acquire(unsigned tid, Xoshiro256& rng, AcquireSource& source,
+             unsigned& steal_attempts) {
+    steal_attempts = 0;
+    if (T* t = high_.try_pop_front()) {
+      source = AcquireSource::HighPriority;
+      return t;
+    }
+    if (mode_ == SchedulerMode::Distributed) {
+      if (T* t = local_[tid]->pop_bottom()) {
+        source = AcquireSource::OwnList;
+        return t;
+      }
+    }
+    if (T* t = main_.try_pop_front()) {
+      source = AcquireSource::MainList;
+      return t;
+    }
+    if (mode_ == SchedulerMode::Distributed && nthreads_ > 1) {
+      if (order_ == StealOrder::CreationOrder) {
+        for (unsigned i = 1; i < nthreads_; ++i) {
+          unsigned victim = (tid + i) % nthreads_;
+          ++steal_attempts;
+          if (T* t = local_[victim]->steal_top()) {
+            source = AcquireSource::Steal;
+            return t;
+          }
+        }
+      } else {
+        for (unsigned i = 1; i < nthreads_; ++i) {
+          unsigned victim =
+              static_cast<unsigned>(rng.next_below(nthreads_ - 1)) + 1;
+          victim = (tid + victim) % nthreads_;
+          ++steal_attempts;
+          if (T* t = local_[victim]->steal_top()) {
+            source = AcquireSource::Steal;
+            return t;
+          }
+        }
+      }
+    }
+    source = AcquireSource::None;
+    return nullptr;
+  }
+
+  /// Racy size of one worker's own list (wakeup heuristics).
+  std::size_t local_size_estimate(unsigned tid) const noexcept {
+    if (mode_ != SchedulerMode::Distributed) return main_.size_estimate();
+    return local_[tid]->size_estimate();
+  }
+
+  /// Racy emptiness estimate (idle-sleep gate).
+  bool maybe_has_work() const noexcept {
+    if (!high_.empty_estimate() || !main_.empty_estimate()) return true;
+    if (mode_ == SchedulerMode::Distributed) {
+      for (const auto& d : local_)
+        if (!d->empty_estimate()) return true;
+    }
+    return false;
+  }
+
+  unsigned nthreads() const noexcept { return nthreads_; }
+  SchedulerMode mode() const noexcept { return mode_; }
+
+ private:
+  unsigned nthreads_;
+  SchedulerMode mode_;
+  StealOrder order_;
+  IntrusiveMpmcFifo<T> high_;
+  IntrusiveMpmcFifo<T> main_;
+  std::vector<std::unique_ptr<ChaseLevDeque<T>>> local_;
+};
+
+}  // namespace smpss

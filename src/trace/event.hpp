@@ -1,0 +1,18 @@
+// Trace events: one record per executed task, the information the original
+// SMPSs tracing-enabled runtime recorded for post-mortem Paraver analysis
+// ("events related to task creation and execution", paper Sec. VII.C).
+#pragma once
+
+#include <cstdint>
+
+namespace smpss {
+
+struct TraceEvent {
+  std::uint64_t seq;       ///< task invocation order (graph node id)
+  std::uint32_t type_id;   ///< task type (for coloring)
+  std::uint32_t worker;    ///< executing thread (0 = main)
+  std::uint64_t start_ns;  ///< body start, steady-clock ns
+  std::uint64_t end_ns;    ///< body end (after completion bookkeeping starts)
+};
+
+}  // namespace smpss

@@ -1,0 +1,34 @@
+#include "trace/paraver.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+
+void export_paraver_prv(std::ostream& os, const std::vector<TraceEvent>& events,
+                        unsigned nthreads, std::uint64_t origin_ns) {
+  std::uint64_t end = origin_ns;
+  for (const TraceEvent& e : events) end = std::max(end, e.end_ns);
+  const std::uint64_t span = end - origin_ns;
+
+  // Header: #Paraver (date):duration:nodes(cpus):appls:tasks(threads)
+  os << "#Paraver (smpss):" << span << "_ns:1(" << nthreads << "):1:1("
+     << nthreads << ":1)\n";
+  for (const TraceEvent& e : events) {
+    // 1:cpu:appl:task:thread:begin:end:state
+    os << "1:" << (e.worker + 1) << ":1:1:" << (e.worker + 1) << ':'
+       << (e.start_ns - origin_ns) << ':' << (e.end_ns - origin_ns) << ':'
+       << (e.type_id + 1) << '\n';
+  }
+}
+
+void export_paraver_pcf(std::ostream& os,
+                        const std::vector<TaskTypeInfo>& types) {
+  os << "STATES\n0 Idle\n";
+  for (std::size_t i = 0; i < types.size(); ++i)
+    os << (i + 1) << ' ' << types[i].name << '\n';
+}
+
+}  // namespace smpss

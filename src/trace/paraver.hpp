@@ -1,0 +1,30 @@
+// Paraver-like trace export (paper Sec. VII.C: the tracing-enabled SMPSs
+// runtime "records events related to task creation and execution for post-
+// mortem analysis with the Paraver tool").
+//
+// We emit the textual Paraver .prv state-record format: a header line plus
+// one state record per task execution
+//
+//   1:cpu:appl:task:thread:begin:end:state
+//
+// with the SMPSs convention of encoding the task type as the state value
+// (offset by 1; state 0 = idle). A .pcf naming file is emitted alongside so
+// real Paraver builds can color by task type.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace smpss {
+
+struct TaskTypeInfo;
+
+void export_paraver_prv(std::ostream& os, const std::vector<TraceEvent>& events,
+                        unsigned nthreads, std::uint64_t origin_ns);
+
+void export_paraver_pcf(std::ostream& os,
+                        const std::vector<TaskTypeInfo>& types);
+
+}  // namespace smpss

@@ -1,0 +1,75 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+
+void export_timeline_csv(std::ostream& os, const std::vector<TraceEvent>& events,
+                         const std::vector<TaskTypeInfo>& types,
+                         std::uint64_t origin_ns) {
+  os << "worker,seq,type,start_us,end_us\n";
+  for (const TraceEvent& e : events) {
+    const char* tname =
+        e.type_id < types.size() ? types[e.type_id].name.c_str() : "?";
+    os << e.worker << ',' << e.seq << ',' << tname << ','
+       << static_cast<double>(e.start_ns - origin_ns) / 1e3 << ','
+       << static_cast<double>(e.end_ns - origin_ns) / 1e3 << '\n';
+  }
+}
+
+UtilizationSummary summarize_utilization(const std::vector<TraceEvent>& events,
+                                         unsigned nthreads) {
+  UtilizationSummary s;
+  s.per_worker_busy_seconds.assign(nthreads, 0.0);
+  if (events.empty()) return s;
+  std::uint64_t first = events.front().start_ns, last = 0;
+  for (const TraceEvent& e : events) {
+    first = std::min(first, e.start_ns);
+    last = std::max(last, e.end_ns);
+    double busy = static_cast<double>(e.end_ns - e.start_ns) * 1e-9;
+    s.total_busy_seconds += busy;
+    if (e.worker < nthreads) s.per_worker_busy_seconds[e.worker] += busy;
+  }
+  s.span_seconds = static_cast<double>(last - first) * 1e-9;
+  if (s.span_seconds > 0.0 && nthreads > 0)
+    s.avg_utilization = s.total_busy_seconds / (s.span_seconds * nthreads);
+  s.avg_task_us = s.total_busy_seconds * 1e6 / static_cast<double>(events.size());
+  return s;
+}
+
+std::string ascii_timeline(const std::vector<TraceEvent>& events,
+                           unsigned nthreads, unsigned width) {
+  if (events.empty() || width == 0) return "";
+  std::uint64_t first = events.front().start_ns, last = 0;
+  for (const TraceEvent& e : events) {
+    first = std::min(first, e.start_ns);
+    last = std::max(last, e.end_ns);
+  }
+  if (last <= first) return "";
+  double bucket_ns = static_cast<double>(last - first) / width;
+  std::vector<std::string> rows(nthreads, std::string(width, '.'));
+  for (const TraceEvent& e : events) {
+    if (e.worker >= nthreads) continue;
+    auto b0 = static_cast<std::size_t>(
+        static_cast<double>(e.start_ns - first) / bucket_ns);
+    auto b1 = static_cast<std::size_t>(
+        static_cast<double>(e.end_ns - first) / bucket_ns);
+    b0 = std::min<std::size_t>(b0, width - 1);
+    b1 = std::min<std::size_t>(b1, width - 1);
+    for (std::size_t b = b0; b <= b1; ++b) rows[e.worker][b] = '#';
+  }
+  std::string out;
+  for (unsigned w = 0; w < nthreads; ++w) {
+    out += "T";
+    out += std::to_string(w);
+    out += w < 10 ? "  |" : " |";
+    out += rows[w];
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace smpss

@@ -1,0 +1,39 @@
+// Timeline exports and utilization summaries from a collected trace.
+// CSV for plotting, an ASCII per-thread strip chart for quick terminal
+// inspection, and aggregate utilization (the quantity behind the paper's
+// scalability discussion: when the graph starves, utilization gaps appear).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace smpss {
+
+struct TaskTypeInfo;
+
+/// worker,task,seq,type,start_us,end_us rows; times relative to origin_ns.
+void export_timeline_csv(std::ostream& os, const std::vector<TraceEvent>& events,
+                         const std::vector<TaskTypeInfo>& types,
+                         std::uint64_t origin_ns);
+
+/// Per-worker busy fraction over the traced interval.
+struct UtilizationSummary {
+  double span_seconds = 0.0;          ///< first start .. last end
+  double total_busy_seconds = 0.0;    ///< sum of task bodies
+  double avg_utilization = 0.0;       ///< busy / (span * nthreads)
+  double avg_task_us = 0.0;
+  std::vector<double> per_worker_busy_seconds;
+};
+
+UtilizationSummary summarize_utilization(const std::vector<TraceEvent>& events,
+                                         unsigned nthreads);
+
+/// Coarse ASCII strip chart: one row per worker, `width` buckets; a bucket
+/// is drawn when the worker was busy during it.
+std::string ascii_timeline(const std::vector<TraceEvent>& events,
+                           unsigned nthreads, unsigned width = 80);
+
+}  // namespace smpss

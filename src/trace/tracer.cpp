@@ -1,0 +1,40 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/timing.hpp"
+
+namespace smpss {
+
+void Tracer::init(unsigned nthreads, bool enabled) {
+  enabled_ = enabled;
+  origin_ = now_ns();
+  buffers_.clear();
+  if (enabled_) {
+    buffers_.resize(nthreads);
+    for (auto& b : buffers_) b.events.reserve(1024);
+  }
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> all;
+  for (const auto& b : buffers_)
+    all.insert(all.end(), b.events.begin(), b.events.end());
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return all;
+}
+
+std::size_t Tracer::event_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b.events.size();
+  return n;
+}
+
+void Tracer::clear() {
+  for (auto& b : buffers_) b.events.clear();
+}
+
+}  // namespace smpss

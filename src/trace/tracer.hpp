@@ -1,0 +1,42 @@
+// Per-thread trace buffers, merged on demand. Recording costs one vector
+// push per task and only when enabled, in line with the paper's split
+// between "a standard runtime and a tracing-enabled runtime".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "trace/event.hpp"
+
+namespace smpss {
+
+class Tracer {
+ public:
+  void init(unsigned nthreads, bool enabled);
+
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(unsigned tid, const TraceEvent& e) {
+    if (enabled_) buffers_[tid].events.push_back(e);
+  }
+
+  /// All events from all threads, sorted by start time.
+  std::vector<TraceEvent> collect() const;
+
+  /// Timestamp of init(); timeline exports are relative to this.
+  std::uint64_t origin_ns() const noexcept { return origin_; }
+
+  std::size_t event_count() const noexcept;
+  void clear();
+
+ private:
+  struct alignas(kCacheLineSize) Buffer {
+    std::vector<TraceEvent> events;
+  };
+  bool enabled_ = false;
+  std::uint64_t origin_ = 0;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace smpss

@@ -1,0 +1,123 @@
+// Cholesky application tests: the Fig. 4 hyper-matrix build and the
+// Fig. 9/10 flat build against the sequential oracle, across block sizes,
+// thread counts and kernel variants; task-count formulas; failure surfacing.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/cholesky.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace smpss {
+namespace {
+
+using apps::CholeskyTasks;
+
+using Param = std::tuple<unsigned, int, int, blas::Variant>;  // threads, nb, m, variant
+
+class CholeskySuite : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CholeskySuite, HyperMatchesOracle) {
+  auto [threads, nb, m, variant] = GetParam();
+  const int n = nb * m;
+  FlatMatrix a(n);
+  fill_spd(a, 100 + static_cast<std::uint64_t>(n));
+  FlatMatrix oracle(a);
+  ASSERT_EQ(apps::cholesky_seq_flat(n, oracle.data(), blas::ref_kernels()), 0);
+
+  Config cfg;
+  cfg.num_threads = threads;
+  Runtime rt(cfg);
+  CholeskyTasks tt = CholeskyTasks::register_in(rt);
+  HyperMatrix h(nb, m, true);
+  blocked_from_flat(h, a.data());
+  ASSERT_EQ(apps::cholesky_smpss_hyper(rt, tt, h, blas::kernels(variant)), 0);
+  FlatMatrix result(n);
+  flat_from_blocked(result.data(), h);
+  EXPECT_LE(max_abs_diff_lower(result, oracle), 2e-2f)
+      << "threads=" << threads << " nb=" << nb << " m=" << m;
+}
+
+TEST_P(CholeskySuite, FlatOnDemandMatchesOracle) {
+  auto [threads, nb, m, variant] = GetParam();
+  const int n = nb * m;
+  FlatMatrix a(n);
+  fill_spd(a, 200 + static_cast<std::uint64_t>(n));
+  FlatMatrix oracle(a);
+  ASSERT_EQ(apps::cholesky_seq_flat(n, oracle.data(), blas::ref_kernels()), 0);
+
+  Config cfg;
+  cfg.num_threads = threads;
+  Runtime rt(cfg);
+  CholeskyTasks tt = CholeskyTasks::register_in(rt);
+  ASSERT_EQ(apps::cholesky_smpss_flat(rt, tt, n, a.data(), m,
+                                      blas::kernels(variant)),
+            0);
+  EXPECT_LE(max_abs_diff_lower(a, oracle), 2e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CholeskySuite,
+    ::testing::Values(Param{1, 4, 16, blas::Variant::Ref},
+                      Param{4, 4, 16, blas::Variant::Tuned},
+                      Param{4, 6, 8, blas::Variant::Tuned},
+                      Param{8, 8, 16, blas::Variant::Tuned},
+                      Param{8, 5, 24, blas::Variant::Ref},
+                      Param{2, 1, 32, blas::Variant::Tuned},
+                      Param{8, 16, 8, blas::Variant::Tuned}));
+
+TEST(CholeskyCounts, SpawnedTaskCountMatchesFormula) {
+  for (int nb : {1, 2, 4, 6, 8}) {
+    Config cfg;
+    cfg.num_threads = 4;
+    Runtime rt(cfg);
+    auto tt = CholeskyTasks::register_in(rt);
+    HyperMatrix h(nb, 8, true);
+    FlatMatrix a(nb * 8);
+    fill_spd(a, 7);
+    blocked_from_flat(h, a.data());
+    ASSERT_EQ(apps::cholesky_smpss_hyper(rt, tt, h, blas::ref_kernels()), 0);
+    EXPECT_EQ(rt.stats().tasks_spawned, apps::cholesky_hyper_task_count(nb))
+        << "nb=" << nb;
+  }
+}
+
+TEST(CholeskyCounts, FlatSpawnsGetsAndPuts) {
+  const int nb = 6, m = 8;
+  Config cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  auto tt = CholeskyTasks::register_in(rt);
+  FlatMatrix a(nb * m);
+  fill_spd(a, 8);
+  ASSERT_EQ(apps::cholesky_smpss_flat(rt, tt, nb * m, a.data(), m,
+                                      blas::ref_kernels()),
+            0);
+  EXPECT_EQ(rt.stats().tasks_spawned, apps::cholesky_flat_task_count(nb));
+}
+
+TEST(CholeskyErrors, NonSpdSurfacesThroughOpaqueFlag) {
+  Config cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  auto tt = CholeskyTasks::register_in(rt);
+  HyperMatrix h(2, 8, true);  // all zeros: not positive definite
+  EXPECT_NE(apps::cholesky_smpss_hyper(rt, tt, h, blas::ref_kernels()), 0);
+}
+
+TEST(CholeskyGraph, SpotrfIsHighPriority) {
+  Config cfg;
+  cfg.num_threads = 1;
+  Runtime rt(cfg);
+  auto tt = CholeskyTasks::register_in(rt);
+  EXPECT_TRUE(rt.task_types()[tt.spotrf.id].high_priority);
+  EXPECT_FALSE(rt.task_types()[tt.sgemm.id].high_priority);
+}
+
+TEST(CholeskyFlops, Formula) {
+  EXPECT_DOUBLE_EQ(apps::cholesky_flops(2), 8.0 / 3.0);
+  EXPECT_GT(apps::cholesky_flops(1024), 3.5e8);
+}
+
+}  // namespace
+}  // namespace smpss

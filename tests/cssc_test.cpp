@@ -1,0 +1,270 @@
+// cssc translator tests: the lexer, the pragma parser on the paper's own
+// listings (Fig. 2 task declarations, Fig. 7 region syntax, Fig. 10 opaque
+// pointers), error reporting, and the C++ code generator.
+#include <gtest/gtest.h>
+
+#include "cssc/codegen.hpp"
+#include "cssc/lexer.hpp"
+#include "cssc/pragma_parser.hpp"
+
+namespace smpss::cssc {
+namespace {
+
+// --- lexer ------------------------------------------------------------------------
+
+TEST(Lexer, RecognizesPragmaCss) {
+  std::string err;
+  auto toks = tokenize("#pragma css task\nint x;", &err);
+  ASSERT_TRUE(err.empty());
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::PragmaCss);
+  EXPECT_EQ(toks[1].kind, TokKind::Identifier);
+  EXPECT_EQ(toks[1].text, "task");
+}
+
+TEST(Lexer, DotDotToken) {
+  std::string err;
+  auto toks = tokenize("#pragma css task input(a{i..j})\nvoid f(int a);", &err);
+  bool found = false;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::DotDot) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lexer, LineContinuationKeepsPragmaOpen) {
+  std::string err;
+  auto toks = tokenize("#pragma css task input(a) \\\n output(b)\nvoid f();",
+                       &err);
+  // "output" must still be inside the pragma (before the Newline token).
+  std::size_t newline_at = 0, output_at = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::Newline && newline_at == 0) newline_at = i;
+    if (toks[i].kind == TokKind::Identifier && toks[i].text == "output")
+      output_at = i;
+  }
+  EXPECT_LT(output_at, newline_at);
+}
+
+TEST(Lexer, SkipsCommentsAndOtherPreprocessor) {
+  std::string err;
+  auto toks = tokenize("// comment\n#include <x.h>\n/* block */ int y;", &err);
+  ASSERT_TRUE(err.empty());
+  EXPECT_EQ(toks[0].text, "int");
+}
+
+// --- parser on the paper's listings ----------------------------------------------
+
+// Fig. 2 verbatim.
+constexpr const char* kFig2 = R"(
+#pragma css task input(a, b) inout(c)
+void sgemm_t(float a[M][M], float b[M][M], float c[M][M]);
+#pragma css task inout(a)
+void spotrf_t(float a[M][M]);
+#pragma css task input(a) inout(b)
+void strsm_t(float a[M][M], float b[M][M]);
+#pragma css task input(a) inout(b)
+void ssyrk_t(float a[M][M], float b[M][M]);
+)";
+
+TEST(Parser, Fig2Declarations) {
+  std::string err;
+  auto tu = parse_source(kFig2, &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  ASSERT_EQ(tu->tasks.size(), 4u);
+
+  const TaskDecl& sgemm = tu->tasks[0];
+  EXPECT_EQ(sgemm.name, "sgemm_t");
+  EXPECT_EQ(sgemm.return_type, "void");
+  ASSERT_EQ(sgemm.clauses.size(), 2u);
+  EXPECT_EQ(sgemm.clauses[0].dir, Direction::Input);
+  ASSERT_EQ(sgemm.clauses[0].params.size(), 2u);
+  EXPECT_EQ(sgemm.clauses[0].params[0].name, "a");
+  EXPECT_EQ(sgemm.clauses[1].dir, Direction::Inout);
+  EXPECT_EQ(sgemm.clauses[1].params[0].name, "c");
+  ASSERT_EQ(sgemm.params.size(), 3u);
+  EXPECT_EQ(sgemm.params[0].type_text, "float");
+  EXPECT_EQ(sgemm.params[0].decl_dims, (std::vector<std::string>{"M", "M"}));
+  EXPECT_TRUE(sgemm.params[0].is_pointer);
+
+  EXPECT_EQ(tu->tasks[1].name, "spotrf_t");
+  ASSERT_EQ(tu->tasks[1].clauses.size(), 1u);
+  EXPECT_EQ(tu->tasks[1].clauses[0].dir, Direction::Inout);
+}
+
+// Fig. 7's region-annotated declarations, verbatim syntax.
+constexpr const char* kFig7 = R"(
+#pragma css task input(data{i1..j1}, data{i2..j2}, i1, j1, i2, j2) \
+ output (dest{i1..j2})
+void seqmerge (ELM data[N], long i1, long j1, long i2, long j2,
+ ELM dest[N]);
+
+#pragma css task inout (data{i..j}) input (i, j)
+void seqquick (ELM data[N], long i, long j);
+)";
+
+TEST(Parser, Fig7RegionSyntax) {
+  std::string err;
+  auto tu = parse_source(kFig7, &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  ASSERT_EQ(tu->tasks.size(), 2u);
+
+  const TaskDecl& merge = tu->tasks[0];
+  EXPECT_EQ(merge.name, "seqmerge");
+  // `data` appears twice in input with different regions.
+  auto occ = merge.occurrences("data");
+  ASSERT_EQ(occ.size(), 2u);
+  ASSERT_EQ(occ[0].second->regions.size(), 1u);
+  EXPECT_EQ(occ[0].second->regions[0].kind, RegionSpec::Kind::Bounds);
+  EXPECT_EQ(occ[0].second->regions[0].lo, "i1");
+  EXPECT_EQ(occ[0].second->regions[0].hi_or_len, "j1");
+  EXPECT_EQ(occ[1].second->regions[0].lo, "i2");
+  // dest is an output region.
+  auto dest_occ = merge.occurrences("dest");
+  ASSERT_EQ(dest_occ.size(), 1u);
+  EXPECT_EQ(dest_occ[0].first, Direction::Output);
+  // scalar indices are inputs.
+  EXPECT_EQ(merge.occurrences("i1").size(), 1u);
+
+  const TaskDecl& quick = tu->tasks[1];
+  EXPECT_EQ(quick.name, "seqquick");
+  auto q = quick.occurrences("data");
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0].first, Direction::Inout);
+  EXPECT_EQ(q[0].second->regions[0].lo, "i");
+}
+
+TEST(Parser, RegionSpellings) {
+  std::string err;
+  auto tu = parse_source(
+      "#pragma css task input(a{0..9}, b{5:10}, c{})\n"
+      "void f(int a[N], int b[N], int c[N]);",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  const auto& ps = tu->tasks[0].clauses[0].params;
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0].regions[0].kind, RegionSpec::Kind::Bounds);
+  EXPECT_EQ(ps[1].regions[0].kind, RegionSpec::Kind::Length);
+  EXPECT_EQ(ps[1].regions[0].lo, "5");
+  EXPECT_EQ(ps[1].regions[0].hi_or_len, "10");
+  EXPECT_EQ(ps[2].regions[0].kind, RegionSpec::Kind::Full);
+}
+
+TEST(Parser, HighPriorityClause) {
+  std::string err;
+  auto tu = parse_source(
+      "#pragma css task inout(a) highpriority\nvoid crunch(float a[K]);",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  EXPECT_TRUE(tu->tasks[0].high_priority);
+}
+
+TEST(Parser, DimensionSpecifiersInClause) {
+  // Fig. 10-style: size given in the clause because the declaration lacks it.
+  std::string err;
+  auto tu = parse_source(
+      "#pragma css task input(A, i, j) output(a[M][M])\n"
+      "void get_block(int i, int j, void *A, float *a);",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  const TaskDecl& t = tu->tasks[0];
+  auto a_occ = t.occurrences("a");
+  ASSERT_EQ(a_occ.size(), 1u);
+  EXPECT_EQ(a_occ[0].second->dims, (std::vector<std::string>{"M", "M"}));
+  // void *A is an opaque pointer.
+  ASSERT_EQ(t.params.size(), 4u);
+  EXPECT_TRUE(t.params[2].is_void_pointer);
+}
+
+TEST(Parser, BarrierAndWaitOn) {
+  std::string err;
+  auto tu = parse_source(
+      "#pragma css barrier\n"
+      "#pragma css wait on(x, y)\n"
+      "#pragma css start\n"
+      "#pragma css finish\n",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  ASSERT_EQ(tu->others.size(), 4u);
+  EXPECT_EQ(tu->others[0].kind, OtherPragma::Kind::Barrier);
+  EXPECT_EQ(tu->others[1].kind, OtherPragma::Kind::WaitOn);
+  EXPECT_EQ(tu->others[1].wait_exprs.size(), 2u);
+  EXPECT_EQ(tu->others[2].kind, OtherPragma::Kind::Start);
+  EXPECT_EQ(tu->others[3].kind, OtherPragma::Kind::Finish);
+}
+
+TEST(Parser, Errors) {
+  std::string err;
+  EXPECT_FALSE(parse_source("#pragma css task frobnicate(a)\nvoid f();", &err)
+                   .has_value());
+  EXPECT_NE(err.find("unknown task clause"), std::string::npos);
+
+  EXPECT_FALSE(parse_source("#pragma css nonsense\n", &err).has_value());
+  // Unterminated region specifier.
+  EXPECT_FALSE(
+      parse_source("#pragma css task input(a{1:2)\nvoid f(int a[N]);", &err)
+          .has_value());
+}
+
+TEST(Parser, NonPragmaCodeIsIgnored) {
+  std::string err;
+  auto tu = parse_source(
+      "int main() { return 0; }\n"
+      "#pragma css task input(x)\nvoid g(double x[4]);\n"
+      "void helper(int q);",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  EXPECT_EQ(tu->tasks.size(), 1u);
+  EXPECT_EQ(tu->tasks[0].name, "g");
+}
+
+// --- codegen -----------------------------------------------------------------------
+
+TEST(Codegen, Fig2SgemmAdapter) {
+  std::string err;
+  auto tu = parse_source(kFig2, &err);
+  ASSERT_TRUE(tu.has_value());
+  std::string code = generate_task(tu->tasks[0]);
+  EXPECT_NE(code.find("register_sgemm_t"), std::string::npos);
+  EXPECT_NE(code.find("spawn_sgemm_t"), std::string::npos);
+  EXPECT_NE(code.find("smpss::in(a, static_cast<std::size_t>(M) * "
+                       "static_cast<std::size_t>(M))"),
+            std::string::npos);
+  EXPECT_NE(code.find("smpss::inout(c"), std::string::npos);
+}
+
+TEST(Codegen, RegionsRenderAsBounds) {
+  std::string err;
+  auto tu = parse_source(kFig7, &err);
+  ASSERT_TRUE(tu.has_value());
+  std::string code = generate_task(tu->tasks[0]);
+  EXPECT_NE(code.find("smpss::Bound::closed(i1, j1)"), std::string::npos);
+  EXPECT_NE(code.find("smpss::Bound::closed(i2, j2)"), std::string::npos);
+  EXPECT_NE(code.find("smpss::value(i1)"), std::string::npos);
+  // data appears twice: two wrapped region arguments.
+  EXPECT_NE(code.find("smpss::in(data, smpss::Region"), std::string::npos);
+}
+
+TEST(Codegen, OpaqueAndHighPriority) {
+  std::string err;
+  auto tu = parse_source(
+      "#pragma css task input(i) output(a[M][M]) highpriority\n"
+      "void get(int i, void *A, float *a);",
+      &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  std::string code = generate_task(tu->tasks[0]);
+  EXPECT_NE(code.find("smpss::opaque(A)"), std::string::npos);
+  EXPECT_NE(code.find("register_task_type(\"get\", true)"), std::string::npos);
+}
+
+TEST(Codegen, WholeUnitHeader) {
+  std::string err;
+  auto tu = parse_source(kFig2, &err);
+  ASSERT_TRUE(tu.has_value());
+  std::string code = generate(*tu);
+  EXPECT_NE(code.find("#pragma once"), std::string::npos);
+  EXPECT_NE(code.find("namespace css_generated"), std::string::npos);
+  EXPECT_NE(code.find("4 task(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpss::cssc

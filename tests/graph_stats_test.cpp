@@ -1,0 +1,115 @@
+// Graph-structure analysis: critical path, width, roots/leaves, per-type
+// counts, predecessor queries — on hand-built graphs and runtime-recorded
+// ones.
+#include <gtest/gtest.h>
+
+#include "graph/graph_recorder.hpp"
+#include "graph/graph_stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+namespace {
+
+GraphRecorder make_chain(int n) {
+  GraphRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 1; i <= n; ++i) rec.record_node(static_cast<std::uint64_t>(i), 0);
+  for (int i = 1; i < n; ++i)
+    rec.record_edge(static_cast<std::uint64_t>(i),
+                    static_cast<std::uint64_t>(i + 1), EdgeKind::True);
+  return rec;
+}
+
+TEST(GraphStats, Chain) {
+  auto rec = make_chain(10);
+  auto s = analyze_graph(rec);
+  EXPECT_EQ(s.nodes, 10u);
+  EXPECT_EQ(s.edges, 9u);
+  EXPECT_EQ(s.roots, 1u);
+  EXPECT_EQ(s.leaves, 1u);
+  EXPECT_EQ(s.critical_path, 10u);
+  EXPECT_EQ(s.max_width, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_parallelism, 1.0);
+}
+
+TEST(GraphStats, IndependentTasks) {
+  GraphRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 1; i <= 8; ++i) rec.record_node(static_cast<std::uint64_t>(i), 0);
+  auto s = analyze_graph(rec);
+  EXPECT_EQ(s.critical_path, 1u);
+  EXPECT_EQ(s.max_width, 8u);
+  EXPECT_EQ(s.roots, 8u);
+  EXPECT_DOUBLE_EQ(s.avg_parallelism, 8.0);
+}
+
+TEST(GraphStats, Diamond) {
+  GraphRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 1; i <= 4; ++i) rec.record_node(static_cast<std::uint64_t>(i), 0);
+  rec.record_edge(1, 2, EdgeKind::True);
+  rec.record_edge(1, 3, EdgeKind::True);
+  rec.record_edge(2, 4, EdgeKind::True);
+  rec.record_edge(3, 4, EdgeKind::True);
+  auto s = analyze_graph(rec);
+  EXPECT_EQ(s.critical_path, 3u);
+  EXPECT_EQ(s.max_width, 2u);
+  EXPECT_EQ(s.roots, 1u);
+  EXPECT_EQ(s.leaves, 1u);
+}
+
+TEST(GraphStats, PerTypeCounts) {
+  GraphRecorder rec;
+  rec.set_enabled(true);
+  rec.record_node(1, 0);
+  rec.record_node(2, 2);
+  rec.record_node(3, 2);
+  auto s = analyze_graph(rec);
+  ASSERT_EQ(s.per_type_counts.size(), 3u);
+  EXPECT_EQ(s.per_type_counts[0], 1u);
+  EXPECT_EQ(s.per_type_counts[1], 0u);
+  EXPECT_EQ(s.per_type_counts[2], 2u);
+}
+
+TEST(GraphStats, EmptyGraph) {
+  GraphRecorder rec;
+  auto s = analyze_graph(rec);
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.critical_path, 0u);
+}
+
+TEST(GraphStats, PredecessorsAndAncestors) {
+  GraphRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 1; i <= 5; ++i) rec.record_node(static_cast<std::uint64_t>(i), 0);
+  rec.record_edge(1, 3, EdgeKind::True);
+  rec.record_edge(2, 3, EdgeKind::True);
+  rec.record_edge(3, 5, EdgeKind::True);
+  rec.record_edge(4, 5, EdgeKind::True);
+  EXPECT_EQ(predecessors_of(rec, 5), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(ancestor_closure(rec, 5), (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(predecessors_of(rec, 1).empty());
+}
+
+TEST(GraphStats, RecordedRuntimeGraphMatchesSpawnStructure) {
+  Config c;
+  // One thread: the full static graph is recorded (with workers racing,
+  // completed producers leave no edge).
+  c.num_threads = 1;
+  c.record_graph = true;
+  Runtime rt(c);
+  // Two independent chains of length 5.
+  int x = 0, y = 0;
+  for (int i = 0; i < 5; ++i) rt.spawn([](int* p) { *p += 1; }, inout(&x));
+  for (int i = 0; i < 5; ++i) rt.spawn([](int* p) { *p += 1; }, inout(&y));
+  rt.barrier();
+  auto s = analyze_graph(rt.graph_recorder());
+  EXPECT_EQ(s.nodes, 10u);
+  EXPECT_EQ(s.edges, 8u);
+  EXPECT_EQ(s.critical_path, 5u);
+  EXPECT_EQ(s.max_width, 2u);
+  EXPECT_EQ(s.roots, 2u);
+}
+
+}  // namespace
+}  // namespace smpss

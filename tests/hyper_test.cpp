@@ -1,0 +1,128 @@
+// Hyper-matrix and flat-matrix utilities: block round-trips, sparse
+// allocation, the Fig. 10 get/put block copies, and matrix helpers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/cache.hpp"
+#include "hyper/flat_matrix.hpp"
+#include "hyper/hyper_matrix.hpp"
+
+namespace smpss {
+namespace {
+
+TEST(HyperMatrix, DenseAllocationIsZeroed) {
+  HyperMatrix h(3, 4, true);
+  EXPECT_EQ(h.allocated_blocks(), 9u);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      ASSERT_TRUE(h.present(i, j));
+      for (std::size_t e = 0; e < h.block_elems(); ++e)
+        EXPECT_EQ(h.block(i, j)[e], 0.0f);
+    }
+}
+
+TEST(HyperMatrix, BlocksAreAligned) {
+  HyperMatrix h(2, 8, true);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      EXPECT_TRUE(is_aligned(h.block(i, j), kDataAlignment));
+}
+
+TEST(HyperMatrix, SparseStartsEmpty) {
+  HyperMatrix h(4, 4, false);
+  EXPECT_EQ(h.allocated_blocks(), 0u);
+  EXPECT_FALSE(h.present(1, 2));
+  float* b = h.ensure_block(1, 2);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(h.present(1, 2));
+  EXPECT_EQ(h.allocated_blocks(), 1u);
+  EXPECT_EQ(h.ensure_block(1, 2), b);  // idempotent
+}
+
+TEST(HyperMatrix, FlatRoundTrip) {
+  const int nb = 3, m = 5, n = nb * m;
+  FlatMatrix flat(n);
+  fill_random(flat, 42);
+  HyperMatrix h(nb, m, false);
+  blocked_from_flat(h, flat.data());
+  FlatMatrix back(n);
+  flat_from_blocked(back.data(), h);
+  EXPECT_EQ(max_abs_diff(flat, back), 0.0f);
+}
+
+TEST(HyperMatrix, MissingBlocksWriteZeroOnUnblock) {
+  const int nb = 2, m = 3, n = nb * m;
+  HyperMatrix h(nb, m, false);
+  float* b = h.ensure_block(0, 0);
+  for (std::size_t e = 0; e < h.block_elems(); ++e) b[e] = 7.0f;
+  FlatMatrix out(n);
+  fill_random(out, 1);  // pre-fill with garbage
+  flat_from_blocked(out.data(), h);
+  EXPECT_EQ(out.at(0, 0), 7.0f);
+  EXPECT_EQ(out.at(0, m), 0.0f);   // absent block
+  EXPECT_EQ(out.at(m, m), 0.0f);
+}
+
+TEST(HyperMatrix, GetPutBlockMatchAddressing) {
+  const int nb = 4, m = 3, n = nb * m;
+  FlatMatrix flat(n);
+  fill_random(flat, 9);
+  std::vector<float> block(static_cast<std::size_t>(m) * m);
+  get_block(2, 1, m, n, flat.data(), block.data());
+  for (int r = 0; r < m; ++r)
+    for (int c = 0; c < m; ++c)
+      EXPECT_EQ(block[static_cast<std::size_t>(r) * m + c],
+                flat.at(2 * m + r, 1 * m + c));
+  // Round-trip through put_block.
+  FlatMatrix out(n);
+  put_block(2, 1, m, n, block.data(), out.data());
+  for (int r = 0; r < m; ++r)
+    for (int c = 0; c < m; ++c)
+      EXPECT_EQ(out.at(2 * m + r, m + c), flat.at(2 * m + r, m + c));
+}
+
+TEST(HyperMatrix, FillZero) {
+  HyperMatrix h(2, 2, true);
+  h.block(0, 0)[0] = 5.0f;
+  h.fill_zero();
+  EXPECT_EQ(h.block(0, 0)[0], 0.0f);
+}
+
+TEST(HyperMatrix, MoveTransfersOwnership) {
+  HyperMatrix a(2, 2, true);
+  float* b00 = a.block(0, 0);
+  HyperMatrix b(std::move(a));
+  EXPECT_EQ(b.block(0, 0), b00);
+}
+
+TEST(FlatMatrix, CopyIsDeep) {
+  FlatMatrix a(8);
+  fill_random(a, 3);
+  FlatMatrix b(a);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  b.at(0, 0) += 1.0f;
+  EXPECT_GT(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(FlatMatrix, SpdIsSymmetricAndDiagonallyDominant) {
+  FlatMatrix a(32);
+  fill_spd(a, 5);
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) EXPECT_EQ(a.at(i, j), a.at(j, i));
+    EXPECT_GT(a.at(i, i), 1.0f);
+  }
+}
+
+TEST(FlatMatrix, Norms) {
+  FlatMatrix a(4);
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(frob_norm(a), 5.0);
+  FlatMatrix b(4);
+  EXPECT_EQ(max_abs_diff(a, b), 4.0f);
+  EXPECT_EQ(max_abs_diff_lower(a, b), 4.0f);
+}
+
+}  // namespace
+}  // namespace smpss

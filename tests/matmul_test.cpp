@@ -1,0 +1,154 @@
+// MatMul application tests: Fig. 1 dense, Fig. 3 sparse, and the Fig. 12
+// flat on-demand transformation, all against the sequential oracle.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/matmul.hpp"
+#include "hyper/flat_matrix.hpp"
+
+namespace smpss {
+namespace {
+
+using apps::MatmulTasks;
+
+using Param = std::tuple<unsigned, int, int>;  // threads, nb, m
+
+class MatmulSuite : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MatmulSuite, DenseHyperMatchesOracle) {
+  auto [threads, nb, m] = GetParam();
+  const int n = nb * m;
+  FlatMatrix a(n), b(n), c_oracle(n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  apps::matmul_seq_flat(n, a.data(), b.data(), c_oracle.data(),
+                        blas::ref_kernels());
+
+  Config cfg;
+  cfg.num_threads = threads;
+  Runtime rt(cfg);
+  auto tt = MatmulTasks::register_in(rt);
+  HyperMatrix ha(nb, m, true), hb(nb, m, true), hc(nb, m, true);
+  blocked_from_flat(ha, a.data());
+  blocked_from_flat(hb, b.data());
+  apps::matmul_smpss_hyper(rt, tt, ha, hb, hc, blas::tuned_kernels());
+  FlatMatrix c(n);
+  flat_from_blocked(c.data(), hc);
+  EXPECT_LE(max_abs_diff(c, c_oracle), 1e-2f * static_cast<float>(n));
+  EXPECT_EQ(rt.stats().tasks_spawned,
+            static_cast<std::uint64_t>(nb) * nb * nb);  // "N^3 tasks"
+}
+
+TEST_P(MatmulSuite, FlatOnDemandMatchesOracle) {
+  auto [threads, nb, m] = GetParam();
+  const int n = nb * m;
+  FlatMatrix a(n), b(n), c(n), c_oracle(n);
+  fill_random(a, 3);
+  fill_random(b, 4);
+  apps::matmul_seq_flat(n, a.data(), b.data(), c_oracle.data(),
+                        blas::ref_kernels());
+  Config cfg;
+  cfg.num_threads = threads;
+  Runtime rt(cfg);
+  auto tt = MatmulTasks::register_in(rt);
+  apps::matmul_smpss_flat(rt, tt, n, a.data(), b.data(), c.data(), m,
+                          blas::tuned_kernels());
+  EXPECT_LE(max_abs_diff(c, c_oracle), 1e-2f * static_cast<float>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulSuite,
+                         ::testing::Values(Param{1, 2, 16}, Param{4, 4, 8},
+                                           Param{8, 4, 16}, Param{8, 3, 24},
+                                           Param{2, 1, 32}));
+
+TEST(SparseMatmul, SkipsMissingBlocksAndAllocatesC) {
+  const int nb = 4, m = 8, n = nb * m;
+  Config cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  auto tt = MatmulTasks::register_in(rt);
+
+  // Diagonal-ish sparse A, banded B.
+  FlatMatrix a(n), b(n), c_oracle(n);
+  HyperMatrix ha(nb, m, false), hb(nb, m, false), hc(nb, m, false);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < nb; ++i)
+    for (int j = 0; j < nb; ++j) {
+      bool a_present = i == j || (i + j) % 3 == 0;
+      bool b_present = std::abs(i - j) <= 1;
+      if (a_present) {
+        float* blk = ha.ensure_block(i, j);
+        for (std::size_t e = 0; e < ha.block_elems(); ++e)
+          blk[e] = 2.0f * rng.next_float() - 1.0f;
+      }
+      if (b_present) {
+        float* blk = hb.ensure_block(i, j);
+        for (std::size_t e = 0; e < hb.block_elems(); ++e)
+          blk[e] = 2.0f * rng.next_float() - 1.0f;
+      }
+    }
+  flat_from_blocked(a.data(), ha);
+  flat_from_blocked(b.data(), hb);
+  apps::matmul_seq_flat(n, a.data(), b.data(), c_oracle.data(),
+                        blas::ref_kernels());
+
+  apps::matmul_smpss_sparse(rt, tt, ha, hb, hc, blas::tuned_kernels());
+  FlatMatrix c(n);
+  flat_from_blocked(c.data(), hc);
+  EXPECT_LE(max_abs_diff(c, c_oracle), 1e-2f * static_cast<float>(n));
+  // Sparsity means strictly fewer than nb^3 tasks and not all C blocks.
+  EXPECT_LT(rt.stats().tasks_spawned, static_cast<std::uint64_t>(nb) * nb * nb);
+}
+
+TEST(SparseMatmul, EmptyInputsSpawnNothing) {
+  Config cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  auto tt = MatmulTasks::register_in(rt);
+  HyperMatrix ha(3, 4, false), hb(3, 4, false), hc(3, 4, false);
+  apps::matmul_smpss_sparse(rt, tt, ha, hb, hc, blas::ref_kernels());
+  EXPECT_EQ(rt.stats().tasks_spawned, 0u);
+  EXPECT_EQ(hc.allocated_blocks(), 0u);
+}
+
+TEST(MatmulProperty, LoopOrderIrrelevant) {
+  // "Note that any ordering of the three nested loops produces correct
+  // results" — spawn in k-j-i order instead of i-j-k and compare.
+  const int nb = 3, m = 8, n = nb * m;
+  FlatMatrix a(n), b(n), c_oracle(n);
+  fill_random(a, 5);
+  fill_random(b, 6);
+  apps::matmul_seq_flat(n, a.data(), b.data(), c_oracle.data(),
+                        blas::ref_kernels());
+
+  Config cfg;
+  cfg.num_threads = 8;
+  Runtime rt(cfg);
+  auto tt = MatmulTasks::register_in(rt);
+  HyperMatrix ha(nb, m, true), hb(nb, m, true), hc(nb, m, true);
+  blocked_from_flat(ha, a.data());
+  blocked_from_flat(hb, b.data());
+  const blas::Kernels* kp = &blas::tuned_kernels();
+  const std::size_t be = ha.block_elems();
+  for (int kk = 0; kk < nb; ++kk)
+    for (int j = 0; j < nb; ++j)
+      for (int i = 0; i < nb; ++i)
+        rt.spawn(tt.sgemm,
+                 [kp, m](const float* x, const float* y, float* z) {
+                   kp->gemm_nn_acc(m, x, y, z);
+                 },
+                 in(ha.block(i, kk), be), in(hb.block(kk, j), be),
+                 inout(hc.block(i, j), be));
+  rt.barrier();
+  FlatMatrix c(n);
+  flat_from_blocked(c.data(), hc);
+  EXPECT_LE(max_abs_diff(c, c_oracle), 1e-2f * static_cast<float>(n));
+}
+
+TEST(MatmulFlops, Formula) {
+  EXPECT_DOUBLE_EQ(apps::matmul_flops(10), 2000.0);
+}
+
+}  // namespace
+}  // namespace smpss

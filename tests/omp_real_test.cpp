@@ -1,0 +1,62 @@
+// Real-OpenMP baseline tests (skipped gracefully when the build lacks
+// OpenMP): multisort sortedness and N-Queens counts vs. the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/nqueens.hpp"
+#include "baselines/omp_real/omp_tasks.hpp"
+#include "common/rng.hpp"
+
+namespace smpss {
+namespace {
+
+TEST(OmpReal, AvailabilityIsConsistent) {
+  if (ompreal::available()) {
+    EXPECT_GE(ompreal::max_threads(), 1u);
+  } else {
+    EXPECT_EQ(ompreal::max_threads(), 0u);
+    EXPECT_EQ(ompreal::nqueens(6, 3, 2), -1);
+  }
+}
+
+TEST(OmpReal, MultisortSorts) {
+  if (!ompreal::available()) GTEST_SKIP() << "no OpenMP in this build";
+  Xoshiro256 rng(12);
+  std::vector<long> data(50000);
+  for (auto& x : data) x = static_cast<long>(rng.next() % 1000000);
+  auto expect = data;
+  std::sort(expect.begin(), expect.end());
+  std::vector<long> tmp(data.size());
+  ASSERT_TRUE(ompreal::multisort(data.data(), tmp.data(),
+                                 static_cast<long>(data.size()), 1024, 512,
+                                 4));
+  EXPECT_EQ(data, expect);
+}
+
+TEST(OmpReal, MultisortAcrossThreadCounts) {
+  if (!ompreal::available()) GTEST_SKIP() << "no OpenMP in this build";
+  for (unsigned t : {1u, 2u, 8u}) {
+    Xoshiro256 rng(100 + t);
+    std::vector<long> data(20000);
+    for (auto& x : data) x = static_cast<long>(rng.next() % 999);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    std::vector<long> tmp(data.size());
+    ASSERT_TRUE(ompreal::multisort(data.data(), tmp.data(),
+                                   static_cast<long>(data.size()), 512, 256,
+                                   t));
+    EXPECT_EQ(data, expect) << "threads=" << t;
+  }
+}
+
+TEST(OmpReal, NQueensMatchesSequential) {
+  if (!ompreal::available()) GTEST_SKIP() << "no OpenMP in this build";
+  for (int n : {6, 8, 9}) {
+    EXPECT_EQ(ompreal::nqueens(n, 4, 4), apps::nqueens_seq(n)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace smpss

@@ -1,0 +1,243 @@
+// Region-mode dependency analysis through the Runtime (the Sec. V.A
+// extension): overlap-ordered writes, disjoint-parallel writes, RAR freedom,
+// 2-D regions, and the mixed-mode diagnostic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+namespace {
+
+Config threads(unsigned n) {
+  Config c;
+  c.num_threads = n;
+  return c;
+}
+
+TEST(RegionDeps, OverlappingWritesAreOrdered) {
+  Runtime rt(threads(1));  // deterministic edge counters
+  std::vector<int> arr(100, 0);
+  // Three tasks with overlapping regions; program order must hold.
+  rt.spawn([](int* a) { for (int i = 0; i <= 60; ++i) a[i] = 1; },
+           out(arr.data(), Region{{Bound::closed(0, 60)}}));
+  rt.spawn([](int* a) { for (int i = 40; i <= 99; ++i) a[i] = 2; },
+           out(arr.data(), Region{{Bound::closed(40, 99)}}));
+  rt.spawn([](int* a) { for (int i = 50; i <= 55; ++i) a[i] += 10; },
+           inout(arr.data(), Region{{Bound::closed(50, 55)}}));
+  rt.barrier();
+  EXPECT_EQ(arr[0], 1);
+  EXPECT_EQ(arr[45], 2);
+  EXPECT_EQ(arr[52], 12);
+  EXPECT_EQ(arr[99], 2);
+  EXPECT_GE(rt.stats().waw_edges + rt.stats().raw_edges, 1u);
+}
+
+TEST(RegionDeps, DisjointWritesHaveNoEdges) {
+  Runtime rt(threads(4));
+  std::vector<int> arr(1000, 0);
+  for (int c = 0; c < 10; ++c) {
+    long lo = c * 100, hi = lo + 99;
+    rt.spawn([lo, hi](int* a) { for (long i = lo; i <= hi; ++i) a[i] = 1; },
+             out(arr.data(), Region{{Bound::closed(lo, hi)}}));
+  }
+  rt.barrier();
+  EXPECT_EQ(std::accumulate(arr.begin(), arr.end(), 0), 1000);
+  auto s = rt.stats();
+  EXPECT_EQ(s.raw_edges + s.war_edges + s.waw_edges, 0u);
+  EXPECT_EQ(s.ready_at_creation, 10u);
+}
+
+TEST(RegionDeps, ReadAfterReadIsFree) {
+  Runtime rt(threads(4));
+  std::vector<int> arr(100, 5);
+  std::vector<int> outs(20, 0);
+  for (int i = 0; i < 20; ++i)
+    rt.spawn([](const int* a, int* o) { *o = a[10]; },
+             in(arr.data(), Region{{Bound::closed(0, 99)}}), out(&outs[i]));
+  rt.barrier();
+  for (int v : outs) EXPECT_EQ(v, 5);
+  EXPECT_EQ(rt.stats().raw_edges + rt.stats().war_edges, 0u);
+}
+
+TEST(RegionDeps, RawThroughOverlap) {
+  Runtime rt(threads(1));  // deterministic edge counters
+  std::vector<int> arr(100, 0);
+  std::vector<int> sum(1, 0);
+  rt.spawn([](int* a) { for (int i = 20; i <= 40; ++i) a[i] = 3; },
+           out(arr.data(), Region{{Bound::closed(20, 40)}}));
+  rt.spawn(
+      [](const int* a, int* s) {
+        for (int i = 30; i <= 35; ++i) *s += a[i];
+      },
+      in(arr.data(), Region{{Bound::closed(30, 35)}}), out(&sum[0]));
+  rt.barrier();
+  EXPECT_EQ(sum[0], 18);
+  EXPECT_GE(rt.stats().raw_edges, 1u);
+}
+
+TEST(RegionDeps, WarOrdersWriterAfterReader) {
+  Runtime rt(threads(1));  // deterministic edge counters
+  std::vector<int> arr(64, 1);
+  int seen = 0;
+  rt.spawn(
+      [](const int* a, int* o) {
+        int s = 0;
+        for (int i = 0; i < 64; ++i) s += a[i];
+        *o = s;
+      },
+      in(arr.data(), Region{{Bound::closed(0, 63)}}), out(&seen));
+  rt.spawn([](int* a) { for (int i = 0; i < 64; ++i) a[i] = 100; },
+           out(arr.data(), Region{{Bound::closed(0, 63)}}));
+  rt.barrier();
+  EXPECT_EQ(seen, 64);  // reader saw the pre-write values
+  EXPECT_GE(rt.stats().war_edges, 1u);
+}
+
+TEST(RegionDeps, TwoDimensionalStripes) {
+  Runtime rt(threads(4));
+  constexpr int kN = 16;
+  std::vector<float> m(kN * kN, 0.0f);
+  // Column stripes written in parallel, then row band read across them.
+  for (int s = 0; s < 4; ++s) {
+    long c0 = s * 4, c1 = c0 + 3;
+    rt.spawn(
+        [c0, c1, kN](float* a) {
+          for (int i = 0; i < kN; ++i)
+            for (long j = c0; j <= c1; ++j) a[i * kN + j] = 1.0f;
+        },
+        out(m.data(), Region{{Bound::closed(0, kN - 1), Bound::closed(c0, c1)}}));
+  }
+  float total = 0.0f;
+  rt.spawn(
+      [kN](const float* a, float* t) {
+        for (int i = 0; i < kN * kN; ++i) *t += a[i];
+      },
+      in(m.data(), Region{{Bound::whole(), Bound::whole()}}), out(&total));
+  rt.barrier();
+  EXPECT_FLOAT_EQ(total, 256.0f);
+}
+
+TEST(RegionDeps, FullSpecifierConflictsWithEverything) {
+  Runtime rt(threads(2));
+  std::vector<int> arr(32, 0);
+  rt.spawn([](int* a) { a[5] = 1; },
+           out(arr.data(), Region{{Bound::closed(5, 5)}}));
+  rt.spawn([](int* a) { for (int i = 0; i < 32; ++i) a[i] += 1; },
+           inout(arr.data(), Region{{Bound::whole()}}));
+  rt.barrier();
+  EXPECT_EQ(arr[5], 2);
+  EXPECT_EQ(arr[6], 1);
+}
+
+TEST(RegionDeps, SequencesOfMixedAccessesMatchOracle) {
+  // Randomized 1-D region program vs sequential oracle.
+  Xoshiro256 rng(77);
+  constexpr long kLen = 64;
+  std::vector<int> par(kLen, 0), seq(kLen, 0);
+  struct Op {
+    long lo, hi;
+    int tag;
+    bool write;
+  };
+  std::vector<Op> ops;
+  for (int i = 0; i < 120; ++i) {
+    long a = static_cast<long>(rng.next_below(kLen));
+    long b = static_cast<long>(rng.next_below(kLen));
+    if (a > b) std::swap(a, b);
+    ops.push_back(Op{a, b, i + 1, rng.next_below(2) == 0});
+  }
+  {
+    Runtime rt(threads(8));
+    for (const Op& op : ops) {
+      if (op.write) {
+        rt.spawn(
+            [op](int* p) {
+              for (long i = op.lo; i <= op.hi; ++i) p[i] = p[i] * 5 + op.tag;
+            },
+            inout(par.data(), Region{{Bound::closed(op.lo, op.hi)}}));
+      } else {
+        rt.spawn([](const int* p) { (void)p[0]; },
+                 in(par.data(), Region{{Bound::closed(op.lo, op.hi)}}));
+      }
+    }
+    rt.barrier();
+  }
+  for (const Op& op : ops)
+    if (op.write)
+      for (long i = op.lo; i <= op.hi; ++i) seq[i] = seq[i] * 5 + op.tag;
+  EXPECT_EQ(par, seq);
+}
+
+TEST(RegionDeps, Random2DProgramMatchesOracle) {
+  // Random rectangular read/write program on a 2-D grid vs a sequential
+  // oracle — the 2-D analogue of SequencesOfMixedAccessesMatchOracle.
+  Xoshiro256 rng(2025);
+  constexpr int kDim = 24;
+  std::vector<int> par(kDim * kDim, 0), seq(kDim * kDim, 0);
+  struct Op {
+    long r0, r1, c0, c1;
+    int tag;
+    bool write;
+  };
+  std::vector<Op> ops;
+  for (int i = 0; i < 150; ++i) {
+    auto ivl = [&](long& lo, long& hi) {
+      lo = static_cast<long>(rng.next_below(kDim));
+      hi = static_cast<long>(rng.next_below(kDim));
+      if (lo > hi) std::swap(lo, hi);
+    };
+    Op op;
+    ivl(op.r0, op.r1);
+    ivl(op.c0, op.c1);
+    op.tag = i + 1;
+    op.write = rng.next_below(5) != 0;  // write-heavy
+    ops.push_back(op);
+  }
+  {
+    Runtime rt(threads(8));
+    for (const Op& op : ops) {
+      Region r{{Bound::closed(op.r0, op.r1), Bound::closed(op.c0, op.c1)}};
+      if (op.write) {
+        rt.spawn(
+            [op](int* g) {
+              for (long i = op.r0; i <= op.r1; ++i)
+                for (long j = op.c0; j <= op.c1; ++j)
+                  g[i * kDim + j] = g[i * kDim + j] * 3 + op.tag;
+            },
+            inout(par.data(), r));
+      } else {
+        rt.spawn([](const int* g) { (void)g[0]; }, in(par.data(), r));
+      }
+    }
+    rt.barrier();
+  }
+  for (const Op& op : ops)
+    if (op.write)
+      for (long i = op.r0; i <= op.r1; ++i)
+        for (long j = op.c0; j <= op.c1; ++j)
+          seq[static_cast<std::size_t>(i * kDim + j)] =
+              seq[static_cast<std::size_t>(i * kDim + j)] * 3 + op.tag;
+  EXPECT_EQ(par, seq);
+}
+
+TEST(RegionDepsDeath, MixingRegionAndAddressModeAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ASSERT_DEATH(
+      {
+        Config c;
+        c.num_threads = 1;
+        Runtime rt(c);
+        std::vector<int> arr(16, 0);
+        rt.spawn([](int* a) { a[0] = 1; },
+                 out(arr.data(), Region{{Bound::closed(0, 15)}}));
+        rt.spawn([](int* a) { a[0] = 2; }, out(arr.data(), 16));
+        rt.barrier();
+      },
+      "region");
+}
+
+}  // namespace
+}  // namespace smpss

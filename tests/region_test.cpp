@@ -1,0 +1,148 @@
+// Array-region algebra tests (paper Sec. V.A, Fig. 6): bound and region
+// overlap/containment, the three specifier spellings, and a brute-force
+// property sweep comparing Region::overlaps against element enumeration.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dep/region.hpp"
+
+namespace smpss {
+namespace {
+
+TEST(Bound, ClosedOverlaps) {
+  EXPECT_TRUE(Bound::closed(0, 5).overlaps(Bound::closed(5, 9)));
+  EXPECT_TRUE(Bound::closed(3, 7).overlaps(Bound::closed(0, 10)));
+  EXPECT_FALSE(Bound::closed(0, 4).overlaps(Bound::closed(5, 9)));
+  EXPECT_FALSE(Bound::closed(6, 9).overlaps(Bound::closed(0, 5)));
+}
+
+TEST(Bound, LengthSpelling) {
+  // {l:L} == {l..l+L-1}
+  EXPECT_TRUE(Bound::length(3, 4) == Bound::closed(3, 6));
+  EXPECT_TRUE(Bound::length(0, 1) == Bound::closed(0, 0));
+}
+
+TEST(Bound, WholeOverlapsEverything) {
+  EXPECT_TRUE(Bound::whole().overlaps(Bound::closed(100, 200)));
+  EXPECT_TRUE(Bound::closed(0, 0).overlaps(Bound::whole()));
+  EXPECT_TRUE(Bound::whole().overlaps(Bound::whole()));
+}
+
+TEST(Bound, EmptyOverlapsNothing) {
+  Bound empty = Bound::closed(5, 3);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.overlaps(Bound::closed(0, 100)));
+  EXPECT_FALSE(empty.overlaps(Bound::whole()));
+}
+
+TEST(Bound, Contains) {
+  EXPECT_TRUE(Bound::closed(0, 10).contains(Bound::closed(3, 7)));
+  EXPECT_TRUE(Bound::closed(0, 10).contains(Bound::closed(0, 10)));
+  EXPECT_FALSE(Bound::closed(0, 10).contains(Bound::closed(5, 11)));
+  EXPECT_TRUE(Bound::whole().contains(Bound::closed(5, 11)));
+  EXPECT_FALSE(Bound::closed(0, 10).contains(Bound::whole()));
+}
+
+TEST(Region, TwoDimOverlapNeedsBothDims) {
+  Region a({Bound::closed(0, 4), Bound::closed(0, 4)});
+  Region b({Bound::closed(2, 6), Bound::closed(2, 6)});
+  Region c({Bound::closed(5, 9), Bound::closed(0, 4)});   // rows disjoint
+  Region d({Bound::closed(0, 4), Bound::closed(5, 9)});   // cols disjoint
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(a.overlaps(d));
+}
+
+TEST(Region, DifferentRankIsConservativelyOverlapping) {
+  Region a({Bound::closed(0, 4)});
+  Region b({Bound::closed(100, 200), Bound::closed(100, 200)});
+  EXPECT_TRUE(a.overlaps(b));  // refuses to reason about reshapes
+}
+
+TEST(Region, ContainsAndEquality) {
+  Region a({Bound::closed(0, 9), Bound::whole()});
+  Region b({Bound::closed(2, 5), Bound::closed(0, 3)});
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a == Region({Bound::closed(0, 9), Bound::whole()}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Region, ElementCount) {
+  EXPECT_EQ(Region({Bound::closed(0, 9)}).element_count(), 10u);
+  EXPECT_EQ(Region({Bound::closed(0, 3), Bound::closed(0, 4)}).element_count(),
+            20u);
+  EXPECT_EQ(Region({Bound::whole()}).element_count(), 0u);  // unknown extent
+  EXPECT_EQ(Region({Bound::closed(5, 3)}).element_count(), 0u);  // empty
+}
+
+TEST(Region, ToStringUsesPaperSyntax) {
+  Region r({Bound::closed(2, 7), Bound::whole()});
+  EXPECT_EQ(r.to_string(), "{2..7}{}");
+}
+
+TEST(Region, ElemBytesCarried) {
+  Region r({Bound::closed(0, 3)}, sizeof(double));
+  EXPECT_EQ(r.elem_bytes(), sizeof(double));
+  r.set_elem_bytes(4);
+  EXPECT_EQ(r.elem_bytes(), 4u);
+}
+
+// Property sweep: Region::overlaps agrees with brute-force enumeration of
+// element sets on a small 2-D grid, over many random region pairs.
+TEST(RegionProperty, OverlapMatchesBruteForce2D) {
+  Xoshiro256 rng(2024);
+  constexpr int kGrid = 8;
+  auto random_bound = [&](bool allow_empty) {
+    std::int64_t a = static_cast<std::int64_t>(rng.next_below(kGrid));
+    std::int64_t b = static_cast<std::int64_t>(rng.next_below(kGrid));
+    if (!allow_empty && a > b) std::swap(a, b);
+    return Bound::closed(a, b);
+  };
+  for (int iter = 0; iter < 3000; ++iter) {
+    bool allow_empty = iter % 5 == 0;
+    Region r1({random_bound(allow_empty), random_bound(allow_empty)});
+    Region r2({random_bound(allow_empty), random_bound(allow_empty)});
+    bool brute = false;
+    for (int i = 0; i < kGrid && !brute; ++i)
+      for (int j = 0; j < kGrid && !brute; ++j) {
+        auto inside = [&](const Region& r) {
+          return i >= r.dim(0).lower && i <= r.dim(0).upper &&
+                 j >= r.dim(1).lower && j <= r.dim(1).upper;
+        };
+        brute = inside(r1) && inside(r2);
+      }
+    ASSERT_EQ(r1.overlaps(r2), brute)
+        << r1.to_string() << " vs " << r2.to_string();
+  }
+}
+
+// Same property in 1-D including `whole` bounds.
+TEST(RegionProperty, OverlapMatchesBruteForce1DWithWhole) {
+  Xoshiro256 rng(99);
+  constexpr int kGrid = 16;
+  auto random_bound = [&]() {
+    if (rng.next_below(8) == 0) return Bound::whole();
+    std::int64_t a = static_cast<std::int64_t>(rng.next_below(kGrid));
+    std::int64_t b = static_cast<std::int64_t>(rng.next_below(kGrid));
+    if (a > b) std::swap(a, b);
+    return Bound::closed(a, b);
+  };
+  for (int iter = 0; iter < 3000; ++iter) {
+    Region r1({random_bound()});
+    Region r2({random_bound()});
+    bool brute = false;
+    for (int i = 0; i < kGrid && !brute; ++i) {
+      auto inside = [&](const Region& r) {
+        const Bound& b = r.dim(0);
+        return b.full || (i >= b.lower && i <= b.upper);
+      };
+      brute = inside(r1) && inside(r2);
+    }
+    ASSERT_EQ(r1.overlaps(r2), brute)
+        << r1.to_string() << " vs " << r2.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace smpss

@@ -1,0 +1,182 @@
+// Scheduler-behavior tests at the Runtime level: locality (chains stay on
+// the worker that satisfied their last dependency), high-priority
+// dispatching, work distribution across workers, and stealing under
+// imbalance — the observable consequences of the Sec. III policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+
+namespace {
+
+/// Busy work the optimizer cannot collapse (a plain `*p += 1` loop folds to
+/// one add, making every "long" task instantaneous and the distribution
+/// assertions meaningless).
+void burn_cycles(int iters, long* sink) {
+  long acc = *sink;
+  for (int k = 0; k < iters; ++k) asm volatile("" : "+r"(acc));
+  *sink = acc + iters;
+}
+
+}  // namespace
+
+namespace {
+
+TEST(SchedulerPolicy, ChainStaysOnOneWorkerMostly) {
+  Config cfg;
+  cfg.num_threads = 8;
+  Runtime rt(cfg);
+  constexpr int kLen = 400;
+  // A single dependency chain with bodies long enough that the graph stays
+  // ahead of execution: each newly-ready task lands in the finishing
+  // worker's own list and should be consumed from there (LIFO), not stolen.
+  long x = 0;
+  std::vector<std::thread::id> executor(kLen);
+  for (int i = 0; i < kLen; ++i)
+    rt.spawn(
+        [i, &executor](long* p) {
+          executor[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+          burn_cycles(20000, p);
+        },
+        inout(&x));
+  rt.barrier();
+  EXPECT_EQ(x, static_cast<long>(kLen) * 20000);
+  // Count executor changes along the chain; locality scheduling keeps the
+  // majority of steps on the same thread. The bound is deliberately loose:
+  // OS preemption legitimately migrates the chain occasionally.
+  int migrations = 0;
+  for (int i = 1; i < kLen; ++i)
+    if (executor[static_cast<std::size_t>(i)] !=
+        executor[static_cast<std::size_t>(i - 1)])
+      ++migrations;
+  EXPECT_LT(migrations, kLen / 2) << "chain bounced between workers";
+  auto s = rt.stats();
+  EXPECT_GT(s.acquired_own, static_cast<std::uint64_t>(kLen) / 3);
+}
+
+TEST(SchedulerPolicy, IndependentWorkSpreadsAcrossWorkers) {
+  Config cfg;
+  cfg.num_threads = 8;
+  Runtime rt(cfg);
+  constexpr int kTasks = 256;
+  std::vector<std::thread::id> executor(kTasks);
+  std::vector<long> sinks(kTasks, 0);
+  for (int i = 0; i < kTasks; ++i)
+    rt.spawn(
+        [i, &executor](long* p) {
+          executor[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+          *p = 0;
+          burn_cycles(200000, p);
+        },
+        out(&sinks[i]));
+  rt.barrier();
+  std::set<std::thread::id> distinct(executor.begin(), executor.end());
+  EXPECT_GE(distinct.size(), 4u) << "independent work did not spread";
+}
+
+TEST(SchedulerPolicy, StealingKicksInOnImbalance) {
+  Config cfg;
+  cfg.num_threads = 8;
+  Runtime rt(cfg);
+  // One long chain (lives on one worker) releasing a burst of wide work at
+  // each step: other workers can only get it by stealing from the chain
+  // owner's list.
+  long chain = 0;
+  std::vector<long> lanes(64, 0);
+  for (int step = 0; step < 30; ++step) {
+    rt.spawn([](long* c) { burn_cycles(10000, c); }, inout(&chain));
+    for (int w = 0; w < 64; ++w)
+      rt.spawn(
+          [](const long* c, long* lane) {
+            burn_cycles(5000, lane);
+            (void)c;
+          },
+          in(&chain), inout(&lanes[w]));
+  }
+  rt.barrier();
+  EXPECT_EQ(chain, 300000);
+  for (long v : lanes) EXPECT_EQ(v, 30 * 5000);
+  EXPECT_GT(rt.stats().steals, 0u);
+}
+
+TEST(SchedulerPolicy, HighPriorityJumpsTheQueue) {
+  // Single worker thread, deliberately blocked by a long task while the
+  // main thread enqueues normal tasks and then a high-priority one; the
+  // high-priority task must run before the earlier-queued normal tasks.
+  Config cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  TaskType urgent = rt.register_task_type("urgent", true);
+
+  std::atomic<int> order_counter{0};
+  std::atomic<int> urgent_rank{-1};
+  std::vector<std::atomic<int>> normal_rank(8);
+  for (auto& r : normal_rank) r.store(-1);
+
+  std::atomic<bool> release{false};
+  static int dummy_src = 0;
+  // Occupy the worker.
+  rt.spawn(
+      [&release](const int* dummy) {
+        (void)dummy;
+        while (!release.load(std::memory_order_acquire)) {
+        }
+      },
+      opaque(&dummy_src));  // opaque dummy: no dependencies
+  // Queue normal work, then an urgent task.
+  for (int i = 0; i < 8; ++i)
+    rt.spawn(
+        [i, &normal_rank, &order_counter](const int* d) {
+          (void)d;
+          normal_rank[static_cast<std::size_t>(i)].store(
+              order_counter.fetch_add(1));
+        },
+        opaque(&dummy_src));
+  rt.spawn(urgent,
+           [&urgent_rank, &order_counter](const int* d) {
+             (void)d;
+             urgent_rank.store(order_counter.fetch_add(1));
+           },
+           opaque(&dummy_src));
+  release.store(true, std::memory_order_release);
+  rt.barrier();
+
+  // The urgent task ran before at least most of the earlier-queued normal
+  // tasks (exact rank 0 is not guaranteed: the worker may already have
+  // grabbed one normal task when the urgent one arrived; the main thread
+  // also participates).
+  int beaten = 0;
+  for (auto& r : normal_rank)
+    if (urgent_rank.load() < r.load()) ++beaten;
+  EXPECT_GE(beaten, 5) << "high-priority task did not jump the queue";
+}
+
+TEST(SchedulerPolicy, CentralizedModeStillBalances) {
+  Config cfg;
+  cfg.num_threads = 8;
+  cfg.scheduler_mode = SchedulerMode::Centralized;
+  Runtime rt(cfg);
+  std::vector<std::thread::id> executor(128);
+  std::vector<long> sinks(128, 0);
+  for (int i = 0; i < 128; ++i)
+    rt.spawn(
+        [i, &executor](long* p) {
+          executor[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+          *p = 0;
+          burn_cycles(100000, p);
+        },
+        out(&sinks[i]));
+  rt.barrier();
+  std::set<std::thread::id> distinct(executor.begin(), executor.end());
+  EXPECT_GE(distinct.size(), 4u);
+  EXPECT_EQ(rt.stats().steals, 0u);  // no deques to steal from
+}
+
+}  // namespace
+}  // namespace smpss

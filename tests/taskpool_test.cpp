@@ -1,0 +1,82 @@
+// OpenMP-3-like task pool baseline: nested tasks, taskwait, run_root, and
+// correctness across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "baselines/taskpool/taskpool.hpp"
+
+namespace smpss {
+namespace {
+
+class TaskPoolSuite : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TaskPoolSuite, RunsAllTasks) {
+  omp3::TaskPool p(GetParam());
+  std::atomic<int> runs{0};
+  p.run_root([&] {
+    for (int i = 0; i < 1000; ++i)
+      p.task([&] { runs.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(runs.load(), 1000);
+}
+
+TEST_P(TaskPoolSuite, TaskwaitOrdersPhases) {
+  omp3::TaskPool p(GetParam());
+  std::atomic<int> phase1{0};
+  std::atomic<bool> order_ok{true};
+  p.run_root([&] {
+    for (int i = 0; i < 100; ++i)
+      p.task([&] { phase1.fetch_add(1, std::memory_order_relaxed); });
+    p.taskwait();
+    if (phase1.load() != 100) order_ok.store(false);
+    for (int i = 0; i < 100; ++i)
+      p.task([&] {
+        if (phase1.load(std::memory_order_relaxed) != 100)
+          order_ok.store(false);
+      });
+    p.taskwait();
+  });
+  EXPECT_TRUE(order_ok.load());
+}
+
+long fib_pool(omp3::TaskPool& p, int n) {
+  if (n < 2) return n;
+  long a = 0, b = 0;
+  p.task([&p, n, &a] { a = fib_pool(p, n - 1); });
+  b = fib_pool(p, n - 2);
+  p.taskwait();
+  return a + b;
+}
+
+TEST_P(TaskPoolSuite, NestedRecursion) {
+  omp3::TaskPool p(GetParam());
+  long result = 0;
+  p.run_root([&] { result = fib_pool(p, 18); });
+  EXPECT_EQ(result, 2584);
+}
+
+TEST_P(TaskPoolSuite, ReusableAcrossRoots) {
+  omp3::TaskPool p(GetParam());
+  for (int r = 0; r < 5; ++r) {
+    std::atomic<int> hits{0};
+    p.run_root([&] {
+      for (int i = 0; i < 64; ++i)
+        p.task([&] { hits.fetch_add(1); });
+    });
+    EXPECT_EQ(hits.load(), 64);
+  }
+}
+
+TEST_P(TaskPoolSuite, TaskwaitOutsideTaskIsNoop) {
+  omp3::TaskPool p(GetParam());
+  p.taskwait();  // no current frame: returns immediately
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TaskPoolSuite,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace smpss

@@ -1,0 +1,170 @@
+// Tracing-enabled runtime (paper Sec. VII.C): event recording, timeline CSV,
+// Paraver export, utilization summaries, ASCII strip chart, and the graph
+// recorder + DOT export of Fig. 5's machinery.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "graph/dot_export.hpp"
+#include "graph/graph_stats.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/paraver.hpp"
+#include "trace/timeline.hpp"
+
+namespace smpss {
+namespace {
+
+Config traced(unsigned n) {
+  Config c;
+  c.num_threads = n;
+  c.tracing = true;
+  c.record_graph = true;
+  return c;
+}
+
+TEST(Tracer, OneEventPerTask) {
+  Runtime rt(traced(4));
+  std::vector<int> xs(50, 0);
+  for (int i = 0; i < 50; ++i)
+    rt.spawn([](int* p) { *p = 1; }, out(&xs[i]));
+  rt.barrier();
+  EXPECT_EQ(rt.tracer().event_count(), 50u);
+  auto events = rt.tracer().collect();
+  ASSERT_EQ(events.size(), 50u);
+  for (const auto& e : events) {
+    EXPECT_LE(e.start_ns, e.end_ns);
+    EXPECT_LT(e.worker, 4u);
+    EXPECT_GE(e.seq, 1u);
+  }
+  // collect() sorts by start time.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+}
+
+TEST(Tracer, DisabledCostsNothing) {
+  Config c;
+  c.num_threads = 2;
+  c.tracing = false;
+  Runtime rt(c);
+  int x = 0;
+  rt.spawn([](int* p) { *p = 1; }, out(&x));
+  rt.barrier();
+  EXPECT_EQ(rt.tracer().event_count(), 0u);
+}
+
+TEST(Timeline, CsvHasHeaderAndRows) {
+  Runtime rt(traced(2));
+  int x = 0;
+  TaskType tt = rt.register_task_type("mytask");
+  rt.spawn(tt, [](int* p) { *p = 1; }, out(&x));
+  rt.barrier();
+  std::ostringstream os;
+  export_timeline_csv(os, rt.tracer().collect(), rt.task_types(),
+                      rt.tracer().origin_ns());
+  std::string s = os.str();
+  EXPECT_NE(s.find("worker,seq,type,start_us,end_us"), std::string::npos);
+  EXPECT_NE(s.find("mytask"), std::string::npos);
+}
+
+TEST(Timeline, UtilizationSums) {
+  Runtime rt(traced(4));
+  long sink = 0;
+  for (int i = 0; i < 64; ++i)
+    rt.spawn(
+        [](long* s) {
+          long acc = 0;
+          for (int k = 0; k < 100000; ++k) acc += k;
+          *s = acc;
+        },
+        out(&sink));
+  rt.barrier();
+  auto u = summarize_utilization(rt.tracer().collect(), 4);
+  EXPECT_GT(u.span_seconds, 0.0);
+  EXPECT_GT(u.total_busy_seconds, 0.0);
+  EXPECT_GT(u.avg_utilization, 0.0);
+  EXPECT_LE(u.avg_utilization, 1.05);  // small clock slop allowed
+  EXPECT_GT(u.avg_task_us, 0.0);
+  double per_worker_total = 0;
+  for (double w : u.per_worker_busy_seconds) per_worker_total += w;
+  EXPECT_NEAR(per_worker_total, u.total_busy_seconds, 1e-9);
+}
+
+TEST(Timeline, AsciiStripChartDrawsBusyMarks) {
+  Runtime rt(traced(2));
+  long sink = 0;
+  for (int i = 0; i < 16; ++i)
+    rt.spawn(
+        [](long* s) {
+          for (int k = 0; k < 50000; ++k) *s += k;
+        },
+        inout(&sink));
+  rt.barrier();
+  std::string chart = ascii_timeline(rt.tracer().collect(), 2, 40);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("T0"), std::string::npos);
+  EXPECT_NE(chart.find("T1"), std::string::npos);
+}
+
+TEST(Paraver, PrvAndPcfWellFormed) {
+  Runtime rt(traced(2));
+  TaskType tt = rt.register_task_type("kernel_a");
+  int x = 0;
+  rt.spawn(tt, [](int* p) { *p = 1; }, out(&x));
+  rt.barrier();
+  std::ostringstream prv, pcf;
+  export_paraver_prv(prv, rt.tracer().collect(), 2, rt.tracer().origin_ns());
+  export_paraver_pcf(pcf, rt.task_types());
+  EXPECT_EQ(prv.str().rfind("#Paraver", 0), 0u);  // header first
+  EXPECT_NE(prv.str().find("\n1:"), std::string::npos);  // a state record
+  EXPECT_NE(pcf.str().find("kernel_a"), std::string::npos);
+  EXPECT_NE(pcf.str().find("0 Idle"), std::string::npos);
+}
+
+TEST(GraphRecorder, NodesAndEdgesRecorded) {
+  Runtime rt(traced(1));
+  int x = 0;
+  rt.spawn([](int* p) { *p = 1; }, out(&x));
+  rt.spawn([](int* p) { *p += 1; }, inout(&x));
+  rt.spawn([](int* p) { *p += 1; }, inout(&x));
+  rt.barrier();
+  const auto& rec = rt.graph_recorder();
+  EXPECT_EQ(rec.nodes().size(), 3u);
+  EXPECT_EQ(rec.edges().size(), 2u);
+  EXPECT_EQ(rec.edges()[0].from, 1u);
+  EXPECT_EQ(rec.edges()[0].to, 2u);
+}
+
+TEST(DotExport, ContainsNodesEdgesAndColors) {
+  Runtime rt(traced(1));
+  TaskType tt = rt.register_task_type("colored");
+  int x = 0;
+  rt.spawn(tt, [](int* p) { *p = 1; }, out(&x));
+  rt.spawn(tt, [](int* p) { *p += 1; }, inout(&x));
+  rt.barrier();
+  DotOptions opts;
+  opts.show_type_names = true;
+  std::string dot = to_dot(rt.graph_recorder(), rt.task_types(), opts);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t1"), std::string::npos);
+  EXPECT_NE(dot.find("t1 -> t2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("colored"), std::string::npos);
+}
+
+TEST(DotExport, AntiEdgesDashedInNoRenamingMode) {
+  Config c;
+  c.num_threads = 1;
+  c.renaming = false;
+  c.record_graph = true;
+  Runtime rt(c);
+  int x = 0, r = 0;
+  rt.spawn([](const int* p, int* o) { *o = *p; }, in(&x), out(&r));
+  rt.spawn([](int* p) { *p = 2; }, out(&x));  // WAR edge
+  rt.barrier();
+  std::string dot = to_dot(rt.graph_recorder(), rt.task_types());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smpss
