@@ -10,6 +10,7 @@ MultisortTasks MultisortTasks::register_in(Runtime& rt) {
   MultisortTasks t;
   t.seqquick = rt.register_task_type("seqquick");
   t.seqmerge = rt.register_task_type("seqmerge");
+  t.sort_rec = rt.register_task_type("sort_rec");
   return t;
 }
 
@@ -153,6 +154,39 @@ void multisort_seq(ELM* data, ELM* tmp, long n, long quick_size) {
 
 namespace {
 
+/// Divide-and-conquer merge: src[i1..j1] and src[i2..j2] -> dst[i1..j2],
+/// decomposed by output chunks ("calls a recursive merge function that
+/// ends up calling [the seqmerge] task when the operated range is small
+/// enough", Sec. VI.D). Region analysis keys on the base pointer, so every
+/// access names the array base (`src`/`dst`) with absolute-index regions —
+/// the paper's `data{i1..j1}` syntax rendered literally. The task function
+/// receives the base once per region (as the pragma's repeated parameter
+/// would) and applies the offsets itself. Shared by the inline and nested
+/// builds.
+void spawn_merge(Runtime& rt, const MultisortTasks& tt, ELM* src, ELM* dst,
+                 long i1, long j1, long i2, long j2, long merge_size) {
+  const long la = j1 - i1 + 1;
+  const long lb = j2 - i2 + 1;
+  const long total = la + lb;
+  for (long t0 = 0; t0 < total; t0 += merge_size) {
+    long t1 = std::min(total, t0 + merge_size);
+    // Reads: both run regions. Write: one disjoint output chunk.
+    rt.spawn(tt.seqmerge,
+             [i1, la, i2, lb, t0, t1](const ELM* s, const ELM*, ELM* d) {
+               merge_piece(s + i1, la, s + i2, lb, t0, t1, d + i1);
+             },
+             in(src, Region{{Bound::closed(i1, j1)}}),
+             in(src, Region{{Bound::closed(i2, j2)}}),
+             out(dst, Region{{Bound::closed(i1 + t0, i1 + t1 - 1)}}));
+  }
+}
+
+void spawn_quick(Runtime& rt, const MultisortTasks& tt, ELM* data, long i,
+                 long j) {
+  rt.spawn(tt.seqquick, [i, j](ELM* d) { seqquick(d, i, j); },
+           inout(data, Region{{Bound::closed(i, j)}}));
+}
+
 struct RegionCtx {
   Runtime& rt;
   const MultisortTasks& tt;
@@ -162,37 +196,10 @@ struct RegionCtx {
   long quick_size;
   long merge_size;
 
-  /// Divide-and-conquer merge: src[i1..j1] and src[i2..j2] -> dst[i1..j2],
-  /// decomposed by output chunks ("calls a recursive merge function that
-  /// ends up calling [the seqmerge] task when the operated range is small
-  /// enough", Sec. VI.D). Region analysis keys on the base pointer, so every
-  /// access names the array base (`src`/`dst`) with absolute-index regions —
-  /// the paper's `data{i1..j1}` syntax rendered literally. The task function
-  /// receives the base once per region (as the pragma's repeated parameter
-  /// would) and applies the offsets itself.
-  void emit_merge(ELM* src, ELM* dst, long i1, long j1, long i2, long j2) {
-    const long la = j1 - i1 + 1;
-    const long lb = j2 - i2 + 1;
-    const long total = la + lb;
-    for (long t0 = 0; t0 < total; t0 += merge_size) {
-      long t1 = std::min(total, t0 + merge_size);
-      // Reads: both run regions. Write: one disjoint output chunk.
-      rt.spawn(tt.seqmerge,
-               [i1, la, i2, lb, t0, t1](const ELM* s, const ELM*, ELM* d) {
-                 merge_piece(s + i1, la, s + i2, lb, t0, t1, d + i1);
-               },
-               in(src, Region{{Bound::closed(i1, j1)}}),
-               in(src, Region{{Bound::closed(i2, j2)}}),
-               out(dst, Region{{Bound::closed(i1 + t0, i1 + t1 - 1)}}));
-    }
-  }
-
   void sort_rec(long i, long j) {
     long size = j - i + 1;
     if (size < quick_size || size < 8) {
-      rt.spawn(tt.seqquick,
-               [i, j](ELM* d) { seqquick(d, i, j); },
-               inout(data, Region{{Bound::closed(i, j)}}));
+      spawn_quick(rt, tt, data, i, j);
       return;
     }
     Quarters q = split4(i, j);
@@ -200,17 +207,63 @@ struct RegionCtx {
     sort_rec(q.i2, q.j2);
     sort_rec(q.i3, q.j3);
     sort_rec(q.i4, q.j4);
-    emit_merge(data, tmp, q.i1, q.j1, q.i2, q.j2);
-    emit_merge(data, tmp, q.i3, q.j3, q.i4, q.j4);
-    emit_merge(tmp, data, q.i1, q.j2, q.i3, q.j4);
+    spawn_merge(rt, tt, data, tmp, q.i1, q.j1, q.i2, q.j2, merge_size);
+    spawn_merge(rt, tt, data, tmp, q.i3, q.j3, q.i4, q.j4, merge_size);
+    spawn_merge(rt, tt, tmp, data, q.i1, q.j2, q.i3, q.j4, merge_size);
   }
 };
+
+// --- nested-spawn build (Config::nested_tasks) ---------------------------------
+
+struct NestedSortCtx {
+  Runtime& rt;
+  const MultisortTasks& tt;
+  ELM* data;
+  ELM* tmp;
+  long quick_size;
+  long merge_size;
+};
+
+/// Runs inside a `sort_rec` generator task (or on the main thread for the
+/// root call). The taskwait between the quarter sorts and the merges is
+/// what makes concurrent submission sound: a generator completes only after
+/// its whole subtree's accesses were submitted, so when the merges' regions
+/// are analyzed every conflicting quarter access is either a live record
+/// (edge inserted) or already retired (its effect is in memory). Sibling
+/// quarters touch disjoint index ranges, so their interleaved submissions
+/// gain no edges against each other and any submission order is equivalent.
+void nested_sort_rec(NestedSortCtx& c, long i, long j) {
+  long size = j - i + 1;
+  if (size < c.quick_size || size < 8) {
+    spawn_quick(c.rt, c.tt, c.data, i, j);
+    return;
+  }
+  Quarters q = split4(i, j);
+  auto quarter = [&](long qi, long qj) {
+    c.rt.spawn(c.tt.sort_rec,
+               [cp = &c, qi, qj] { nested_sort_rec(*cp, qi, qj); });
+  };
+  quarter(q.i1, q.j1);
+  quarter(q.i2, q.j2);
+  quarter(q.i3, q.j3);
+  quarter(q.i4, q.j4);
+  c.rt.taskwait();
+  spawn_merge(c.rt, c.tt, c.data, c.tmp, q.i1, q.j1, q.i2, q.j2, c.merge_size);
+  spawn_merge(c.rt, c.tt, c.data, c.tmp, q.i3, q.j3, q.i4, q.j4, c.merge_size);
+  spawn_merge(c.rt, c.tt, c.tmp, c.data, q.i1, q.j2, q.i3, q.j4, c.merge_size);
+}
 
 }  // namespace
 
 void multisort_smpss_regions(Runtime& rt, const MultisortTasks& tt, ELM* data,
                              ELM* tmp, long n, long quick_size,
                              long merge_size) {
+  if (rt.config().nested_tasks) {
+    NestedSortCtx ctx{rt, tt, data, tmp, quick_size, merge_size};
+    nested_sort_rec(ctx, 0, n - 1);
+    rt.barrier();
+    return;
+  }
   RegionCtx ctx{rt, tt, data, tmp, n, quick_size, merge_size};
   ctx.sort_rec(0, n - 1);
   rt.barrier();

@@ -24,7 +24,7 @@ namespace smpss::apps {
 using ELM = long;  // the Cilk distribution's element type
 
 struct MultisortTasks {
-  TaskType seqquick, seqmerge;
+  TaskType seqquick, seqmerge, sort_rec;
   static MultisortTasks register_in(Runtime& rt);
 };
 
@@ -45,6 +45,12 @@ void multisort_seq(ELM* data, ELM* tmp, long n, long quick_size);
 
 /// SMPSs with array regions; merges split into output chunks of at most
 /// `merge_size` elements.
+///
+/// With Config::nested_tasks enabled the sort recursion runs as `sort_rec`
+/// generator tasks: each quarter of the tree is expanded from a worker, the
+/// generator taskwait()s its quarters (so their writes are submitted before
+/// the merges' reads are analyzed) and then emits its merge tasks. The
+/// paper-faithful default expands the whole tree on the main thread.
 void multisort_smpss_regions(Runtime& rt, const MultisortTasks& tt, ELM* data,
                              ELM* tmp, long n, long quick_size,
                              long merge_size);

@@ -51,10 +51,46 @@ long nqueens_seq(int n) {
   return count_tail(board.data(), 0, n);
 }
 
+namespace {
+
+/// Nested-mode recursion: runs inside a `solve_tail` task. The prefix
+/// travels by value in the closure (the per-branch copy the runtime's
+/// renaming provides in the flat build, made explicit here because nested
+/// children of different parents submit concurrently).
+void nq_nested_rec(Runtime& rt, TaskType solve, Prefix p, int d, int n,
+                   int cutoff, std::atomic<long>* total) {
+  if (d >= cutoff) {
+    total->fetch_add(count_tail(p.cells, d, n), std::memory_order_relaxed);
+    return;
+  }
+  for (int c = 0; c < n; ++c) {
+    if (!safe(p.cells, d, c)) continue;
+    Prefix child = p;
+    child.cells[d] = c;
+    rt.spawn(solve, [&rt, solve, child, d, n, cutoff, total] {
+      nq_nested_rec(rt, solve, child, d + 1, n, cutoff, total);
+    });
+  }
+}
+
+long nqueens_smpss_nested(Runtime& rt, const NQueensTasks& tt, int n,
+                          int cutoff) {
+  std::atomic<long> total{0};
+  Prefix root{};
+  rt.spawn(tt.solve, [&rt, solve = tt.solve, root, n, cutoff, tp = &total] {
+    nq_nested_rec(rt, solve, root, 0, n, cutoff, tp);
+  });
+  rt.barrier();
+  return total.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
 long nqueens_smpss(Runtime& rt, const NQueensTasks& tt, int n,
                    int task_depth) {
   SMPSS_CHECK(n <= kMaxBoard, "board too large for the fixed prefix buffer");
   const int cutoff = std::max(0, n - task_depth);
+  if (rt.config().nested_tasks) return nqueens_smpss_nested(rt, tt, n, cutoff);
   std::vector<int> board(static_cast<std::size_t>(n), 0);   // runtime-tracked
   std::vector<int> shadow(static_cast<std::size_t>(n), 0);  // main-side pruning
   std::atomic<long> total{0};

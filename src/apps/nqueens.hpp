@@ -34,6 +34,13 @@ struct NQueensTasks {
 long nqueens_seq(int n);
 
 /// SMPSs version; the last `task_depth` recursion levels run inside tasks.
+///
+/// With Config::nested_tasks enabled the version is totally recursive, like
+/// the Cilk one: every prefix node is a task that spawns one child task per
+/// safe column, carrying the partial board by value (the nested model makes
+/// the paper's renaming trick unnecessary — no shared board, no hazards),
+/// and leaves below the cutoff count sequentially. Exercises deep nesting
+/// with a fan-out far beyond the worker count.
 long nqueens_smpss(Runtime& rt, const NQueensTasks& tt, int n, int task_depth);
 
 /// Cilk-like baseline: one task per node, each with its own board copy,

@@ -19,7 +19,7 @@
 namespace smpss::apps {
 
 struct StrassenTasks {
-  TaskType mul, add, sub, acc;
+  TaskType mul, add, sub, acc, rec;
   static StrassenTasks register_in(Runtime& rt);
 };
 
@@ -27,6 +27,17 @@ struct StrassenTasks {
 /// recursion bottoms out at single blocks (one sgemm task each). The number
 /// of blocks per side must be a power of two. Spawns tasks and runs to the
 /// barrier.
+///
+/// With Config::nested_tasks enabled the recursion itself runs as tasks
+/// (one `strassen_rec` generator task per product) instead of being fully
+/// unrolled on the main thread: each generator emits its block tasks from a
+/// worker and taskwait()s. Two structural changes versus the inline build:
+/// operand temporaries are per-product instead of reused (sibling subtrees
+/// submit concurrently, so the reuse hazard that renaming absorbs under
+/// program order would be submission-order-dependent), and the seven
+/// products are joined with a taskwait before the combination tasks are
+/// emitted (a child's writes must be *submitted* before the parent's reads
+/// are analyzed).
 void strassen_smpss(Runtime& rt, const StrassenTasks& tt, HyperMatrix& A,
                     HyperMatrix& B, HyperMatrix& C, const blas::Kernels& k);
 

@@ -4,6 +4,22 @@
 
 namespace smpss {
 
+namespace {
+/// Nested-task scoping rule: a version counts as available to `task` when it
+/// is produced, has no producer (initial data), or its producer is `task`
+/// itself or one of `task`'s ancestors. An ancestor is mid-execution — its
+/// working copy holds exactly the value the child is meant to operate on —
+/// and an ancestor→descendant edge would deadlock against taskwait(). The
+/// contract this implies: data a child task touches must be covered by an
+/// ancestor's footprint (or be subtree-private), and no outside task may be
+/// submitted against it while the subtree is active.
+bool available_to(const TaskNode* task, const Version* v) {
+  const TaskNode* prod = v->producer();
+  return prod == nullptr || v->is_produced() || prod == task ||
+         task->has_ancestor(prod);
+}
+}  // namespace
+
 DependencyAnalyzer::~DependencyAnalyzer() {
   // Normal shutdown goes through flush_all() after a barrier; this handles
   // abandoned runtimes without leaking versions.
@@ -61,7 +77,7 @@ void* DependencyAnalyzer::process_read(TaskNode* task, DataEntry& e,
   SMPSS_CHECK(!v->renamed() || bytes <= v->bytes(),
               "task declares a larger input size than the renamed version "
               "holds — inconsistent parameter sizes on one datum");
-  if (v->producer() && v->producer() != task && !v->is_produced()) {
+  if (!available_to(task, v)) {
     add_edge(v->producer(), task, EdgeKind::True);
   }
   v->register_reader(task);
@@ -77,8 +93,7 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
                                         std::size_t bytes, bool also_reads) {
   Version* v = e.latest;
 
-  if (also_reads && v->producer() && v->producer() != task &&
-      !v->is_produced()) {
+  if (also_reads && !available_to(task, v)) {
     add_edge(v->producer(), task, EdgeKind::True);  // RAW on the old value
   }
 
@@ -88,9 +103,12 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
   if (renaming_) {
     // Renaming configuration: never block on WAR/WAW — either reuse the old
     // version's bytes in place when nothing else will touch them, or move
-    // the new version to fresh aligned storage.
+    // the new version to fresh aligned storage. An old version produced by
+    // an ancestor counts as produced (see available_to): the child writes
+    // inside the ancestor's access, so reusing its bytes is the coherent
+    // choice, not a hazard.
     const bool others_reading = v->readers_pending() > 0;
-    const bool old_unproduced = !v->is_produced();
+    const bool old_unproduced = !available_to(task, v);
     const bool hazard = also_reads ? others_reading
                                    : (others_reading || old_unproduced);
     if (!hazard) {
@@ -117,12 +135,13 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
     }
   } else {
     // No-renaming ablation: everything stays in the user's storage and the
-    // hazards the paper eliminates become explicit graph edges.
-    if (v->producer() && v->producer() != task && !v->is_produced()) {
+    // hazards the paper eliminates become explicit graph edges. Ancestor
+    // accesses are exempt for the same scoping reason as above.
+    if (!available_to(task, v)) {
       add_edge(v->producer(), task, EdgeKind::Output);
     }
     for (TaskNode* r : v->reader_tasks()) {
-      if (r != task && !r->finished_hint()) {
+      if (r != task && !r->finished_hint() && !task->has_ancestor(r)) {
         add_edge(r, task, EdgeKind::Anti);
       }
     }

@@ -9,8 +9,15 @@
 // disabled (an ablation the paper argues against) anti- and output-
 // dependency edges are inserted instead.
 //
-// All methods run on the main thread only; workers interact with the data
-// this class creates via the tokens on TaskNode/Version.
+// Threading: all methods run under the runtime's *submission order* — plain
+// main-thread execution in the paper-faithful configuration, or serialized
+// by the Runtime's submission mutex when nested tasks are enabled (any
+// thread may then submit). Workers interact with the data this class
+// creates only via the atomic tokens on TaskNode/Version, which is why the
+// hazard probes here (readers_pending / is_produced) stay correct while
+// tasks retire concurrently: pending-reader counts only shrink and produced
+// flags only rise, so a stale read can at worst cause a spurious rename,
+// never a missed hazard.
 #pragma once
 
 #include <cstdint>

@@ -43,6 +43,9 @@ void* RegionAnalyzer::process(TaskNode* task, const AccessDesc& access) {
     if (r.task == task) continue;            // duplicate params on one task
     if (!r.writes && !writes) continue;      // read-after-read: no hazard
     if (!r.region.overlaps(access.region)) continue;
+    // A child operates inside its ancestor's region access; an edge from
+    // the (still-running) ancestor would deadlock against taskwait().
+    if (task->has_ancestor(r.task)) continue;
     EdgeKind kind = r.writes ? (writes ? EdgeKind::Output : EdgeKind::True)
                              : EdgeKind::Anti;
     add_edge(r.task, task, kind);

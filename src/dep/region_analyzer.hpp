@@ -11,7 +11,9 @@
 // paper raises for representants ("representants cannot be reliably used if
 // there are false dependencies between the represented data").
 //
-// Main-thread only, like DependencyAnalyzer.
+// Threading: runs under the runtime's submission order, like
+// DependencyAnalyzer (main thread only in the paper-faithful configuration,
+// submission-mutex-serialized with nested tasks enabled).
 #pragma once
 
 #include <cstdint>

@@ -51,7 +51,7 @@ class Version {
     produced_.store(true, std::memory_order_release);
   }
 
-  // --- reader registration (main thread) -----------------------------------
+  // --- reader registration (submission order) -------------------------------
 
   /// Register `reader` as a pending reader: bumps the pending count, takes a
   /// lifetime ref on this version and a strong ref on the reader task (the
@@ -63,13 +63,13 @@ class Version {
     reader_tasks_.push_back(reader);
   }
 
-  /// Pending readers right now (main-thread decision input; workers only
-  /// ever decrement, so a nonzero answer can only shrink).
+  /// Pending readers right now (submission-side decision input; workers
+  /// only ever decrement, so a nonzero answer can only shrink).
   int readers_pending() const noexcept {
     return readers_pending_.load(std::memory_order_acquire);
   }
 
-  /// Main-thread-only view of recorded reader tasks (WAR edges in the
+  /// Submission-order view of recorded reader tasks (WAR edges in the
   /// no-renaming configuration).
   const SmallVector<TaskNode*, 4>& reader_tasks() const noexcept {
     return reader_tasks_;
@@ -88,7 +88,7 @@ class Version {
 
   /// Transfer storage ownership out of this version (used when a successor
   /// version reuses the same bytes in place): the buffer will no longer be
-  /// freed when this version dies. Main thread only, while holding the
+  /// freed when this version dies. Submission order only, while holding the
   /// latest token.
   void disown_storage() noexcept { renamed_ = false; }
 
@@ -103,7 +103,7 @@ class Version {
   std::atomic<bool> produced_;
   std::atomic<int> readers_pending_{0};
   std::atomic<int> refs_;
-  SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, main-thread writes
+  SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, submission-order writes
 };
 
 /// Per-datum bookkeeping (address-mode analysis). Entries live in an

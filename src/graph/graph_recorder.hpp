@@ -2,9 +2,10 @@
 // edges by kind) for post-mortem inspection: DOT export (paper Fig. 5),
 // structural statistics, and the paper-exact count assertions in the tests.
 //
-// Nodes and edges are only ever recorded by the main thread (task creation
-// and dependency analysis both happen there), so no synchronization is
-// needed beyond the enable flag.
+// Nodes and edges are only ever recorded under the runtime's submission
+// order (plain main-thread execution, or the submission mutex when nested
+// tasks are enabled), so no synchronization is needed here beyond the
+// enable flag.
 #pragma once
 
 #include <cstdint>

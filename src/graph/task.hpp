@@ -7,8 +7,10 @@
 // every data version produced by the task holds one (so the dependency
 // analyzer can still address the producer of a live version), and every
 // version that recorded this task as a reader holds one (so WAR edges can be
-// added in the no-renaming configuration). Nodes are created only by the
-// main thread; completion runs on an arbitrary worker.
+// added in the no-renaming configuration). Nodes are created by whichever
+// thread submits the task (only the main thread in the paper-faithful
+// configuration; any thread with nested tasks enabled) under the runtime's
+// submission order; completion runs on an arbitrary worker.
 #pragma once
 
 #include <atomic>
@@ -68,6 +70,7 @@ class TaskNode {
         ::operator delete(closure_);
       }
     }
+    if (parent) parent->release();  // may cascade up the (bounded) chain
   }
 
   // --- closure ------------------------------------------------------------
@@ -149,11 +152,36 @@ class TaskNode {
   // --- scheduling state -----------------------------------------------------
 
   /// Unsatisfied input dependencies + 1 creation guard. The guard keeps the
-  /// task invisible to the scheduler while the main thread is still wiring
-  /// edges; release_creation_guard() arms it.
+  /// task invisible to the scheduler while the submitting thread is still
+  /// wiring edges; release_creation_guard() arms it.
   std::atomic<std::int32_t> pending_deps{1};
 
   TaskNode* queue_next = nullptr;  ///< intrusive link for the global FIFOs
+
+  // --- nesting (only used with Config::nested_tasks) ------------------------
+
+  /// The task whose body spawned this one (strong ref, released by the
+  /// destructor so the chain stays readable for this node's whole life);
+  /// nullptr for tasks submitted outside any task body. Immutable once the
+  /// task is published — ancestor walks from live descendants race with
+  /// nothing.
+  TaskNode* parent = nullptr;
+
+  /// True if `anc` is this task's parent, grandparent, ... The chain is
+  /// ref-kept by each child, so every link stays valid while this task is
+  /// alive. Used by the dependency analyzers: a version produced by an
+  /// ancestor counts as available to its descendants (the ancestor is
+  /// mid-execution, its working copy holds the value the child operates
+  /// on) — an ancestor→descendant edge would deadlock against taskwait().
+  bool has_ancestor(const TaskNode* anc) const noexcept {
+    for (const TaskNode* a = parent; a != nullptr; a = a->parent)
+      if (a == anc) return true;
+    return false;
+  }
+  /// Direct children spawned by this task's body that have not yet finished
+  /// executing. Runtime::taskwait() blocks (while running other ready tasks)
+  /// until this reaches zero.
+  std::atomic<std::int32_t> children_live{0};
 
   std::uint64_t seq = 0;           ///< invocation order, 1-based (Fig. 5)
   std::uint32_t type_id = 0;

@@ -14,6 +14,7 @@ Config Config::from_env() {
   if (auto v = env_int("SMPSS_RENAME_MEMORY_MB"); v && *v > 0)
     c.rename_memory_limit = static_cast<std::size_t>(*v) << 20;
   if (auto v = env_bool("SMPSS_RENAMING")) c.renaming = *v;
+  if (auto v = env_bool("SMPSS_NESTED")) c.nested_tasks = *v;
   if (auto v = env_string("SMPSS_SCHEDULER")) {
     if (*v == "centralized") c.scheduler_mode = SchedulerMode::Centralized;
     if (*v == "distributed") c.scheduler_mode = SchedulerMode::Distributed;

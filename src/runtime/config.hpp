@@ -7,6 +7,7 @@
 //   SMPSS_TASK_WINDOW       graph-size blocking condition (live tasks)
 //   SMPSS_RENAME_MEMORY_MB  renamed-storage blocking condition
 //   SMPSS_RENAMING          0/1 — disable/enable renaming
+//   SMPSS_NESTED            0/1 — real nested tasks instead of inlining
 //   SMPSS_SCHEDULER         distributed | centralized
 //   SMPSS_STEAL_ORDER       creation | random
 //   SMPSS_PIN_THREADS       0/1
@@ -38,6 +39,15 @@ struct Config {
   /// Data renaming (paper default on; off reproduces a dependency-unaware
   /// WAR/WAW-edge runtime for the ablation benches).
   bool renaming = true;
+
+  /// Nested task parallelism. Off (the paper-faithful default, Sec. VII.D)
+  /// demotes a spawn from inside a task to a plain inline function call. On,
+  /// any thread may submit real tasks: dependency analysis is serialized by
+  /// a submission mutex (submission order defines the dependency order, as
+  /// in the later BSC runtimes that lifted this restriction), tasks track
+  /// their parent, and Runtime::taskwait() waits for the calling task's
+  /// children while executing other ready tasks.
+  bool nested_tasks = false;
 
   SchedulerMode scheduler_mode = SchedulerMode::Distributed;
   StealOrder steal_order = StealOrder::CreationOrder;

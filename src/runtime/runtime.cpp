@@ -2,6 +2,7 @@
 
 #include "common/affinity.hpp"
 #include "common/timing.hpp"
+#include "runtime/thread_context.hpp"
 #include "runtime/worker.hpp"
 
 namespace smpss {
@@ -38,7 +39,18 @@ Runtime::~Runtime() {
 }
 
 TaskType Runtime::register_task_type(std::string name, bool high_priority) {
-  SMPSS_CHECK(on_main_thread(), "register_task_type is main-thread-only");
+  // The types_ vector is read locklessly by every spawn; registration must
+  // finish before any concurrent submitter exists. In nested mode "no
+  // concurrent submitter" means no live task (any task body may spawn), so
+  // registering mid-flight is diagnosed instead of silently racing the
+  // vector growth.
+  SMPSS_CHECK(on_main_thread() && !in_task_context(),
+              "register_task_type is main-thread-only, outside task bodies");
+  SMPSS_CHECK(!cfg_.nested_tasks ||
+                  tasks_live_.load(std::memory_order_acquire) == 0,
+              "register_task_type with nested tasks enabled requires no "
+              "task in flight (task bodies are concurrent submitters that "
+              "read the type table locklessly)");
   types_.push_back(TaskTypeInfo{std::move(name), high_priority});
   return TaskType{static_cast<std::uint32_t>(types_.size() - 1)};
 }
@@ -56,20 +68,79 @@ void* Runtime::route_access(TaskNode* t, const AccessDesc& d) {
   return dep_.process(t, d);
 }
 
+void Runtime::begin_submission(TaskNode* t) {
+  if (cfg_.nested_tasks) {
+    // Parent hookup only when the enclosing task belongs to *this* runtime:
+    // a task of one runtime spawning into another submits a top-level task
+    // there (cross-runtime parent links would tangle the two instances'
+    // children accounting and ancestor walks).
+    if (detail::tls.in_task_body && detail::tls.current != nullptr &&
+        detail::tls.current_owner == this) {
+      // Real child task: the parent keeps a live-children count for
+      // taskwait() and the child holds a strong ref so the count outlives
+      // the parent's retirement.
+      TaskNode* parent = detail::tls.current;
+      parent->add_ref();
+      parent->children_live.fetch_add(1, std::memory_order_relaxed);
+      t->parent = parent;
+      nested_spawned_.fetch_add(1, std::memory_order_relaxed);
+    }
+    submit_mu_.lock();
+  }
+  t->seq = ++seq_;
+  recorder_.record_node(t->seq, t->type_id);
+}
+
+void Runtime::end_submission() {
+  if (cfg_.nested_tasks) submit_mu_.unlock();
+}
+
+unsigned Runtime::submitter_tid() const noexcept {
+  if (detail::tls.rt == this) return detail::tls.tid;  // one of our workers
+  if (on_main_thread()) return 0;
+  return kForeignTid;
+}
+
 void Runtime::submit(TaskNode* t) {
-  ++spawned_;
+  spawned_.fetch_add(1, std::memory_order_relaxed);
   tasks_live_.fetch_add(1, std::memory_order_relaxed);
 
   // Release the creation guard; a task with no unsatisfied inputs "is moved
   // into the main ready list or the high priority list" (Sec. III).
   if (t->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    ++ready_at_creation_;
-    enqueue_ready(t, /*tid=*/0, /*at_creation=*/true);
+    ready_at_creation_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_ready(t, submitter_tid(), /*at_creation=*/true);
   }
 
   // Blocking conditions (Sec. III): "Whenever it reaches a blocking
   // condition (a barrier, a memory limit, or a graph size limit), it behaves
   // as a worker thread until an unblocking condition is reached."
+  if (!on_main_thread() || in_task_context()) {
+    // Nested-mode generators (task bodies submitting children) throttle
+    // best-effort: drain ready tasks while over the limit, but never sleep.
+    // A sleeping in-task submitter can deadlock — if every ready source of
+    // the graph is a body blocked in this throttle, live can only drop when
+    // one of them completes, which none would. So when no ready task is
+    // acquirable the spawn proceeds and the window is a soft limit here;
+    // the hard limit stays with the paper's sequential generator below.
+    if (!cfg_.nested_tasks || detail::tls.in_throttle) return;
+    const unsigned tid = submitter_tid();
+    if (tid == kForeignTid) return;
+    if (tasks_live_.load(std::memory_order_relaxed) >= cfg_.task_window ||
+        pool_.over_limit()) {
+      nested_throttled_.fetch_add(1, std::memory_order_relaxed);
+      detail::tls.in_throttle = true;
+      while (tasks_live_.load(std::memory_order_acquire) >
+                 cfg_.task_window_low ||
+             pool_.over_limit()) {
+        TaskNode* t = acquire(tid);
+        if (!t) break;
+        execute_task(t, tid);
+      }
+      detail::tls.in_throttle = false;
+    }
+    return;
+  }
   if (tasks_live_.load(std::memory_order_relaxed) >= cfg_.task_window) {
     ++blocked_window_;
     while (tasks_live_.load(std::memory_order_acquire) > cfg_.task_window_low)
@@ -90,6 +161,16 @@ void Runtime::enqueue_ready(TaskNode* t, unsigned tid, bool at_creation) {
     return;
   }
   if (at_creation) {
+    // Nested children ready at creation go to the spawning worker's own
+    // list: the child operates on data the parent just touched, so this is
+    // the same locality argument Sec. III makes for last-dependence-removed
+    // tasks. Main-thread and foreign-thread submissions keep the paper's
+    // main-list distribution behavior.
+    if (cfg_.nested_tasks && in_task_context() && tid != kForeignTid) {
+      ready_.push_local(tid, t);
+      if (ready_.local_size_estimate(tid) > 1) gate_.notify_one();
+      return;
+    }
     ready_.push_main(t);
     gate_.notify_one();
     return;
@@ -118,14 +199,7 @@ TaskNode* Runtime::acquire(unsigned tid) {
   return t;
 }
 
-namespace {
-// Set while a thread runs a task body; nested spawns check it so that task
-// calls inside tasks stay plain function calls even when the main thread is
-// the one executing (barrier/window/memory blocking conditions).
-thread_local bool tl_in_task_body = false;
-}  // namespace
-
-bool Runtime::in_task_context() noexcept { return tl_in_task_body; }
+bool Runtime::in_task_context() noexcept { return detail::tls.in_task_body; }
 
 void Runtime::execute_task(TaskNode* t, unsigned tid) {
   WorkerState& ws = worker_state_[tid];
@@ -133,14 +207,26 @@ void Runtime::execute_task(TaskNode* t, unsigned tid) {
   std::uint64_t t0 = 0;
   if (tracer_.enabled()) t0 = now_ns();
 
-  tl_in_task_body = true;
+  // Save/restore: a thread blocked in taskwait() executes other tasks, so
+  // task bodies nest on one stack and the innermost one must be visible to
+  // spawns (parent tracking) and taskwait (children to await).
+  detail::ThreadContext& tc = detail::tls;
+  TaskNode* prev_task = tc.current;
+  Runtime* prev_owner = tc.current_owner;
+  const bool prev_in_body = tc.in_task_body;
+  tc.current = t;
+  tc.current_owner = this;
+  tc.in_task_body = true;
   t->run_body();
-  tl_in_task_body = false;
+  tc.current = prev_task;
+  tc.current_owner = prev_owner;
+  tc.in_task_body = prev_in_body;
 
   if (tracer_.enabled()) {
     std::uint64_t t1 = now_ns();
     ws.counters.task_ns += t1 - t0;
-    tracer_.record(tid, TraceEvent{t->seq, t->type_id, tid, t0, t1});
+    tracer_.record(tid, TraceEvent{t->seq, t->parent ? t->parent->seq : 0,
+                                   t->type_id, tid, t0, t1});
   }
 
   // Publish produced versions before releasing successors.
@@ -160,6 +246,15 @@ void Runtime::execute_task(TaskNode* t, unsigned tid) {
   for (Version* v : t->produces) v->release(pool_);
 
   ++ws.counters.executed;
+
+  // Notify the parent after the data tokens retire, so a taskwait()-ing
+  // parent that sees children_live == 0 also sees the children's effects.
+  // The parent pointer itself stays set (released by ~TaskNode): live
+  // descendants walk the ancestor chain during dependency analysis.
+  if (TaskNode* parent = t->parent) {
+    if (parent->children_live.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      gate_.notify_all();  // wake a taskwait()-blocked thread
+  }
 
   if (tasks_live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     gate_.notify_all();  // wake a barrier-waiting main thread
@@ -181,42 +276,111 @@ void Runtime::help_once() {
   gate_.wait(seen, std::chrono::microseconds(200));
 }
 
+void Runtime::taskwait() {
+  taskwaits_.fetch_add(1, std::memory_order_relaxed);
+  // Only a task of *this* runtime has children here; a foreign runtime's
+  // task calling in falls through to the drain-all path (and its
+  // main-thread-only check) like any non-task caller.
+  TaskNode* cur = in_task_context() && detail::tls.current_owner == this
+                      ? detail::tls.current
+                      : nullptr;
+  if (cur == nullptr) {
+    // Outside any task body: wait for everything in flight, but leave the
+    // dependency state alone (no realignment — that is barrier()'s job).
+    SMPSS_CHECK(on_main_thread(),
+                "taskwait outside a task body is main-thread-only");
+    while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
+    return;
+  }
+  const unsigned tid = submitter_tid();
+  while (cur->children_live.load(std::memory_order_acquire) > 0) {
+    // Run other ready tasks while waiting — this is what lets a recursion
+    // deeper than the worker count make progress: the waiter executes its
+    // own children (they sit in its local list) on its own stack.
+    if (tid != kForeignTid) {
+      if (TaskNode* t = acquire(tid)) {
+        execute_task(t, tid);
+        continue;
+      }
+    }
+    std::uint64_t seen = gate_.prepare_wait();
+    if (cur->children_live.load(std::memory_order_acquire) == 0) return;
+    if (tid != kForeignTid) {
+      if (TaskNode* t = acquire(tid)) {
+        execute_task(t, tid);
+        continue;
+      }
+    }
+    gate_.wait(seen, std::chrono::microseconds(100));
+  }
+}
+
 void Runtime::barrier() {
-  SMPSS_CHECK(on_main_thread(), "barrier is main-thread-only");
+  SMPSS_CHECK(on_main_thread() && !in_task_context(),
+              "barrier is main-thread-only and may not be called inside a "
+              "task body — use taskwait() to wait for child tasks");
   while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
-  // All tasks retired: realign renamed data into program storage and drop
-  // all dependency state; the next spawn starts from a clean slate.
+  // All tasks retired (and with them all possible nested submitters): align
+  // renamed data back into program storage and drop all dependency state;
+  // the next spawn starts from a clean slate.
   dep_.flush_all();
   regions_.flush_all();
   ++barriers_;
 }
 
 void Runtime::wait_on_addr(const void* addr) {
-  SMPSS_CHECK(on_main_thread(), "wait_on is main-thread-only");
-  if (regions_.tracks(addr)) {
+  SMPSS_CHECK(on_main_thread() && !in_task_context(),
+              "wait_on is main-thread-only and may not be called inside a "
+              "task body");
+  // In nested mode concurrent submitters may be mutating the tracking
+  // tables; every peek at them synchronizes on the submission order. The
+  // copy-back itself also runs inside it so the "latest" version cannot be
+  // superseded mid-copy.
+  bool region_tracked;
+  {
+    std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
+    if (cfg_.nested_tasks) lk.lock();
+    region_tracked = regions_.tracks(addr);
+  }
+  if (region_tracked) {
     // Region-tracked arrays have no single "latest version"; conservatively
     // drain all tasks (data stays in place for regions, so no copy-back).
     while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
     return;
   }
-  DataEntry* e = dep_.find(addr);
-  if (!e) return;  // never written by a task: nothing to wait for
-  while (!(e->latest->is_produced() &&
-           e->user_storage_pending.load(std::memory_order_acquire) == 0)) {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
+      if (cfg_.nested_tasks) lk.lock();
+      DataEntry* e = dep_.find(addr);
+      if (!e) return;  // never written by a task: nothing to wait for
+      if (e->latest->is_produced() &&
+          e->user_storage_pending.load(std::memory_order_acquire) == 0) {
+        dep_.copy_back_latest(*e);
+        return;
+      }
+    }
     help_once();
   }
-  dep_.copy_back_latest(*e);
 }
 
 StatsSnapshot Runtime::stats() const {
   StatsSnapshot s;
-  s.tasks_spawned = spawned_;
+  s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
   s.tasks_inlined = inlined_.load(std::memory_order_relaxed);
-  s.ready_at_creation = ready_at_creation_;
+  s.tasks_nested = nested_spawned_.load(std::memory_order_relaxed);
+  s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
+  s.nested_throttled = nested_throttled_.load(std::memory_order_relaxed);
+  s.ready_at_creation = ready_at_creation_.load(std::memory_order_relaxed);
   s.barriers = barriers_;
   s.main_blocked_on_window = blocked_window_;
   s.main_blocked_on_memory = blocked_memory_;
 
+  // The analyzer counters are plain fields guarded by the submission order;
+  // snapshot them under it so a stats() call racing nested submitters stays
+  // well-defined.
+  std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
+  if (cfg_.nested_tasks) lk.lock();
   const auto& dc = dep_.counters();
   const auto& rc = regions_.counters();
   s.raw_edges = dc.raw_edges + rc.raw_edges;
@@ -234,14 +398,14 @@ StatsSnapshot Runtime::stats() const {
 
   for (unsigned i = 0; i < cfg_.num_threads; ++i) {
     const WorkerCounters& w = worker_state_[i].counters;
-    s.tasks_executed += w.executed;
-    s.steals += w.steals;
-    s.steal_attempts += w.steal_attempts;
-    s.acquired_high += w.acquired_high;
-    s.acquired_own += w.acquired_own;
-    s.acquired_main += w.acquired_main;
-    s.idle_sleeps += w.idle_sleeps;
-    s.task_ns += w.task_ns;
+    s.tasks_executed += w.executed.get();
+    s.steals += w.steals.get();
+    s.steal_attempts += w.steal_attempts.get();
+    s.acquired_high += w.acquired_high.get();
+    s.acquired_own += w.acquired_own.get();
+    s.acquired_main += w.acquired_main.get();
+    s.idle_sleeps += w.idle_sleeps.get();
+    s.task_ns += w.task_ns.get();
   }
   return s;
 }

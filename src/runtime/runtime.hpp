@@ -17,15 +17,26 @@
 // data to remove WAR/WAW hazards, builds the task graph, and schedules ready
 // tasks over the worker threads with the locality policy of Sec. III.
 //
-// Threading contract: spawn/barrier/wait_on are main-thread calls (the
-// thread that constructed the Runtime). A spawn issued from inside a task
-// executes the function inline, mirroring the paper's "task calls inside
-// tasks are treated as normal function calls".
+// Threading contract (paper-faithful default): spawn/barrier/wait_on are
+// main-thread calls (the thread that constructed the Runtime). A spawn
+// issued from inside a task executes the function inline, mirroring the
+// paper's "task calls inside tasks are treated as normal function calls".
+//
+// With Config::nested_tasks (SMPSS_NESTED=1) the inline demotion is lifted:
+// spawn() is thread-safe and a spawn from inside a task creates a real child
+// task. Dependency analysis is serialized by a submission mutex — the
+// resulting total submission order plays the role the program order plays in
+// the sequential model, so the graph stays acyclic no matter which threads
+// submit. The paper-faithful path never takes the mutex (single submitter).
+// taskwait() suspends the calling task until its direct children finished,
+// executing other ready tasks meanwhile; barrier/wait_on remain main-thread,
+// outside-any-task calls.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,7 +91,7 @@ class Runtime {
   /// order.
   template <typename F, detail::TaskParam... Ps>
   void spawn(TaskType type, F&& fn, Ps&&... ps) {
-    if (!on_main_thread() || in_task_context()) {
+    if (!cfg_.nested_tasks && (!on_main_thread() || in_task_context())) {
       // Sec. VII.D: a task call inside a task is a normal function call.
       // The check covers worker threads AND the main thread while it is
       // executing tasks at a blocking condition.
@@ -90,7 +101,6 @@ class Runtime {
     }
     SMPSS_CHECK(type.id < types_.size(), "unregistered task type");
     auto* t = new TaskNode();
-    t->seq = ++seq_;
     t->type_id = type.id;
     t->high_priority = types_[type.id].high_priority;
 
@@ -101,12 +111,14 @@ class Runtime {
                                    std::forward<Ps>(ps)...)};
     t->set_vtable(&C::vtable);
 
-    recorder_.record_node(t->seq, t->type_id);
-
-    // Analyze directional parameters in declaration order.
+    // Sequence number, parent hookup, node record, and dependency analysis
+    // all happen under the submission order (a mutex in nested mode; plain
+    // main-thread execution otherwise).
+    begin_submission(t);
     [&]<std::size_t... Is>(std::index_sequence<Is...>) {
       (analyze_param<Is>(closure, t), ...);
     }(std::index_sequence_for<Ps...>{});
+    end_submission();
 
     submit(t);
   }
@@ -122,8 +134,20 @@ class Runtime {
 
   /// Wait for all spawned tasks, then realign renamed data back into the
   /// program's own storage. Equivalent to `#pragma css barrier`. The main
-  /// thread executes tasks while it waits (Sec. III).
+  /// thread executes tasks while it waits (Sec. III). Main thread only and
+  /// never from inside a task body — a task that must wait for the tasks it
+  /// spawned uses taskwait() instead.
   void barrier();
+
+  /// Wait until every *direct child* spawned by the calling task body has
+  /// finished executing (OpenMP `taskwait` semantics; children of children
+  /// are not awaited — they are the child's responsibility). The calling
+  /// thread executes other ready tasks while it waits, so a recursion
+  /// deeper than the worker count cannot deadlock the pool. Outside any
+  /// task body this waits for all live tasks (no data realignment — that is
+  /// barrier()'s job). A no-op in inline (non-nested) mode inside a task,
+  /// where children already ran as function calls.
+  void taskwait();
 
   /// Wait until the latest version of `*ptr` has been produced, then copy it
   /// back to the program's storage so the main code can read it. Equivalent
@@ -182,9 +206,21 @@ class Runtime {
   /// diagnosing mixed-mode use of one array.
   void* route_access(TaskNode* t, const AccessDesc& d);
 
+  /// Enter the submission order: take the submission mutex (nested mode
+  /// only), assign the sequence number, hook up the parent link, record the
+  /// graph node. end_submission() leaves the order again.
+  void begin_submission(TaskNode* t);
+  void end_submission();
+
   /// Account the new task, release its creation guard, then apply the
   /// Sec. III blocking conditions (task window, rename-memory limit).
   void submit(TaskNode* t);
+
+  /// Ready-list index the calling thread owns in this runtime, or kForeignTid
+  /// for threads this runtime does not know (their pushes go to the shared
+  /// main list, never to a per-worker deque they do not own).
+  static constexpr unsigned kForeignTid = ~0u;
+  unsigned submitter_tid() const noexcept;
 
   void enqueue_ready(TaskNode* t, unsigned tid, bool at_creation);
   TaskNode* acquire(unsigned tid);
@@ -213,10 +249,24 @@ class Runtime {
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> inlined_{0};
 
-  // main-thread-only counters
+  /// Serializes dependency analysis when multiple threads submit (nested
+  /// mode). The paper-faithful single-submitter path never touches it.
+  /// Mutable: stats() locks it to snapshot analyzer counters consistently.
+  mutable std::mutex submit_mu_;
+
+  // guarded by the submission order (submit_mu_ in nested mode, otherwise
+  // main-thread-only)
   std::uint64_t seq_ = 0;
-  std::uint64_t spawned_ = 0;
-  std::uint64_t ready_at_creation_ = 0;
+
+  // submission-side counters; atomics because nested mode submits from many
+  // threads concurrently
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> nested_spawned_{0};
+  std::atomic<std::uint64_t> taskwaits_{0};
+  std::atomic<std::uint64_t> nested_throttled_{0};
+  std::atomic<std::uint64_t> ready_at_creation_{0};
+
+  // main-thread-only counters
   std::uint64_t barriers_ = 0;
   std::uint64_t blocked_window_ = 0;
   std::uint64_t blocked_memory_ = 0;

@@ -45,7 +45,8 @@ struct Closure {
   }
 
   template <std::size_t... Is>
-  void call(void* const* resolved, std::index_sequence<Is...>) {
+  void call([[maybe_unused]] void* const* resolved,
+            std::index_sequence<Is...>) {
     fn(arg<Is>(resolved)...);
   }
 
@@ -62,7 +63,9 @@ struct Closure {
 
 /// Nested task calls are executed inline as plain function calls
 /// (paper Sec. VII.D: "SMPSs treats task calls inside tasks as normal
-/// function calls") — the function sees the program's own pointers.
+/// function calls") — the function sees the program's own pointers. Only
+/// used when Config::nested_tasks is off; the nested mode submits a real
+/// task instead.
 template <typename F, typename... Ps>
 void invoke_inline(F&& fn, Ps&&... ps) {
   std::forward<F>(fn)(ParamTraits<std::decay_t<Ps>>::raw(ps)...);

@@ -4,22 +4,49 @@
 // asserted via renames > 0, locality via steal ratios).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/cache.hpp"
 
 namespace smpss {
 
+/// Single-writer statistics cell: updated by exactly one worker with a
+/// relaxed load+store pair (a plain add in machine code — no RMW needed
+/// because there is only one writer), read by concurrent stats() snapshots
+/// without formal data races.
+class Counter64 {
+ public:
+  void add(std::uint64_t d) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + d,
+             std::memory_order_relaxed);
+  }
+  Counter64& operator+=(std::uint64_t d) noexcept {
+    add(d);
+    return *this;
+  }
+  Counter64& operator++() noexcept {
+    add(1);
+    return *this;
+  }
+  std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 /// Written by exactly one worker; padded to avoid false sharing.
 struct alignas(kCacheLineSize) WorkerCounters {
-  std::uint64_t executed = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t steal_attempts = 0;
-  std::uint64_t acquired_high = 0;
-  std::uint64_t acquired_own = 0;
-  std::uint64_t acquired_main = 0;
-  std::uint64_t idle_sleeps = 0;
-  std::uint64_t task_ns = 0;  ///< accumulated body time (tracing only)
+  Counter64 executed;
+  Counter64 steals;
+  Counter64 steal_attempts;
+  Counter64 acquired_high;
+  Counter64 acquired_own;
+  Counter64 acquired_main;
+  Counter64 idle_sleeps;
+  Counter64 task_ns;  ///< accumulated body time (tracing only)
 };
 
 /// Aggregate view returned by Runtime::stats().
@@ -27,6 +54,12 @@ struct StatsSnapshot {
   // creation side (main thread)
   std::uint64_t tasks_spawned = 0;
   std::uint64_t tasks_inlined = 0;  ///< nested spawns run as function calls
+  std::uint64_t tasks_nested = 0;   ///< real child tasks (nested mode only)
+  std::uint64_t taskwaits = 0;      ///< Runtime::taskwait() calls
+  /// In-task submissions that hit the task-window/rename-memory limit and
+  /// drained ready tasks (a best-effort, never-sleeping throttle — see
+  /// Runtime::submit; the hard blocking conditions remain main-thread).
+  std::uint64_t nested_throttled = 0;
   std::uint64_t ready_at_creation = 0;
   std::uint64_t barriers = 0;
   std::uint64_t main_blocked_on_window = 0;

@@ -1,0 +1,37 @@
+// Per-thread execution context. One thread-local record answers the three
+// questions the runtime keeps asking about the calling thread:
+//
+//   * which Runtime's worker loop owns it (nullptr for the main thread and
+//     for foreign threads the program created itself),
+//   * which ready-list slot it owns in that runtime (0 = main thread), and
+//   * which task body, if any, is currently executing on it.
+//
+// `current` nests: when a thread blocked in taskwait() picks up another
+// ready task, execute_task() saves and restores the previous value, so the
+// innermost task is always visible to nested spawns (parent tracking) and
+// taskwait() (whose-children-to-wait-for).
+#pragma once
+
+namespace smpss {
+
+class Runtime;
+class TaskNode;
+
+namespace detail {
+
+struct ThreadContext {
+  Runtime* rt = nullptr;       ///< runtime whose worker loop owns this thread
+  unsigned tid = 0;            ///< ready-list index within `rt` (0 = main)
+  TaskNode* current = nullptr; ///< innermost task body executing here
+  Runtime* current_owner = nullptr;  ///< runtime `current` belongs to
+  bool in_task_body = false;
+  /// True while this thread is draining ready tasks inside the nested-mode
+  /// submission throttle; suppresses re-entering the throttle further down
+  /// the same stack (bounds recursion depth to one drain loop per thread).
+  bool in_throttle = false;
+};
+
+inline thread_local ThreadContext tls;
+
+}  // namespace detail
+}  // namespace smpss

@@ -3,11 +3,16 @@
 #include "common/affinity.hpp"
 #include "common/spin.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/thread_context.hpp"
 
 namespace smpss {
 
 void worker_main(Runtime& rt, unsigned tid) {
   if (rt.cfg_.pin_threads) pin_current_thread(tid);
+  // Register this thread with its runtime: nested spawns and taskwait()
+  // route through the per-worker ready list this thread owns.
+  detail::tls.rt = &rt;
+  detail::tls.tid = tid;
   WorkerCounters& wc = rt.worker_state_[tid].counters;
 
   unsigned failures = 0;

@@ -8,11 +8,12 @@
 namespace smpss {
 
 struct TraceEvent {
-  std::uint64_t seq;       ///< task invocation order (graph node id)
-  std::uint32_t type_id;   ///< task type (for coloring)
-  std::uint32_t worker;    ///< executing thread (0 = main)
-  std::uint64_t start_ns;  ///< body start, steady-clock ns
-  std::uint64_t end_ns;    ///< body end (after completion bookkeeping starts)
+  std::uint64_t seq;        ///< task invocation order (graph node id)
+  std::uint64_t parent_seq; ///< spawning task's seq; 0 = top-level (nested mode)
+  std::uint32_t type_id;    ///< task type (for coloring)
+  std::uint32_t worker;     ///< executing thread (0 = main)
+  std::uint64_t start_ns;   ///< body start, steady-clock ns
+  std::uint64_t end_ns;     ///< body end (after completion bookkeeping starts)
 };
 
 }  // namespace smpss

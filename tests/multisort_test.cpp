@@ -132,6 +132,22 @@ TEST_P(MultisortSuite, SmpssRegions) {
   expect_sorted_equal(data, original);
 }
 
+TEST_P(MultisortSuite, SmpssRegionsNested) {
+  // Same decomposition, sort tree expanded by `sort_rec` worker tasks.
+  auto [threads, n, qs, ms, seed] = GetParam();
+  auto data = random_data(n, seed);
+  auto original = data;
+  std::vector<ELM> tmp(data.size());
+  Config cfg;
+  cfg.num_threads = threads;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  auto tt = apps::MultisortTasks::register_in(rt);
+  apps::multisort_smpss_regions(rt, tt, data.data(), tmp.data(), n, qs, ms);
+  expect_sorted_equal(data, original);
+  if (n / 4 >= qs) EXPECT_GT(rt.stats().taskwaits, 0u);
+}
+
 TEST_P(MultisortSuite, SmpssRepresentants) {
   auto [threads, n, qs, ms, seed] = GetParam();
   (void)ms;

@@ -35,6 +35,19 @@ TEST_P(NQueensSuite, SmpssMatchesSeq) {
   EXPECT_EQ(apps::nqueens_smpss(rt, tt, n, depth), apps::nqueens_seq(n));
 }
 
+TEST_P(NQueensSuite, SmpssNestedMatchesSeq) {
+  // Fully recursive build: every prefix node is a task spawned from
+  // whatever worker expands it, nesting as deep as the cutoff.
+  auto [threads, n, depth] = GetParam();
+  Config cfg;
+  cfg.num_threads = threads;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  auto tt = apps::NQueensTasks::register_in(rt);
+  EXPECT_EQ(apps::nqueens_smpss(rt, tt, n, depth), apps::nqueens_seq(n));
+  if (n - depth > 0) EXPECT_GT(rt.stats().tasks_nested, 0u);
+}
+
 TEST_P(NQueensSuite, ForkJoinMatchesSeq) {
   auto [threads, n, depth] = GetParam();
   fj::Scheduler s(threads);

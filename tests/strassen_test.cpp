@@ -1,6 +1,7 @@
 // Strassen tests: numerical agreement with plain GEMM, the sequential
 // recursion, renaming intensity (the paper's "intensive renaming test
-// case"), correctness with renaming disabled, and the flop formula.
+// case"), correctness with renaming disabled, the nested-spawn build, and
+// the flop formula.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -12,12 +13,13 @@
 namespace smpss {
 namespace {
 
-using Param = std::tuple<unsigned, int, int, bool>;  // threads, nb, m, renaming
+// threads, nb, m, renaming, nested
+using Param = std::tuple<unsigned, int, int, bool, bool>;
 
 class StrassenSuite : public ::testing::TestWithParam<Param> {};
 
 TEST_P(StrassenSuite, MatchesGemmOracle) {
-  auto [threads, nb, m, renaming] = GetParam();
+  auto [threads, nb, m, renaming, nested] = GetParam();
   const int n = nb * m;
   FlatMatrix a(n), b(n), c_oracle(n);
   fill_random(a, 31);
@@ -28,6 +30,7 @@ TEST_P(StrassenSuite, MatchesGemmOracle) {
   Config cfg;
   cfg.num_threads = threads;
   cfg.renaming = renaming;
+  cfg.nested_tasks = nested;
   Runtime rt(cfg);
   auto tt = apps::StrassenTasks::register_in(rt);
   HyperMatrix ha(nb, m, true), hb(nb, m, true), hc(nb, m, true);
@@ -38,14 +41,23 @@ TEST_P(StrassenSuite, MatchesGemmOracle) {
   flat_from_blocked(c.data(), hc);
   // Strassen loses some accuracy by construction; tolerance reflects that.
   EXPECT_LE(max_abs_diff(c, c_oracle), 5e-2f * static_cast<float>(n));
+  if (nested && nb > 1) EXPECT_GT(rt.stats().tasks_nested, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, StrassenSuite,
-    ::testing::Values(Param{1, 2, 16, true}, Param{4, 2, 16, true},
-                      Param{8, 4, 8, true}, Param{8, 4, 16, true},
-                      Param{4, 4, 8, false},  // renaming off: still correct
-                      Param{8, 8, 8, true}));
+    ::testing::Values(Param{1, 2, 16, true, false}, Param{4, 2, 16, true, false},
+                      Param{8, 4, 8, true, false}, Param{8, 4, 16, true, false},
+                      Param{4, 4, 8, false, false},  // renaming off: correct
+                      Param{8, 8, 8, true, false},
+                      // nested-spawn build: recursion runs as worker tasks
+                      Param{1, 4, 8, true, true}, Param{4, 4, 8, true, true},
+                      Param{8, 4, 16, true, true},
+                      Param{8, 8, 8, true, true},
+                      // nested + renaming off: hazards become edges, and the
+                      // ancestor exemptions keep the C-block accumulation
+                      // chains deadlock-free
+                      Param{4, 4, 8, false, true}));
 
 TEST(StrassenSeq, MatchesOracle) {
   const int nb = 4, m = 8, n = nb * m;

@@ -1,6 +1,10 @@
 // Stress and failure-injection tests: high task churn, deep chains, rapid
 // runtime construction/teardown, all-scheduler sweeps on contended DAGs,
-// and renamed-memory churn under pressure.
+// renamed-memory churn under pressure, and concurrent-submission hammers
+// (many workers spawning nested tasks against the dependency engine at
+// once). Historically this suite assumed single-threaded submission; the
+// sweeps now run with nested mode both off and on so every scheduler
+// configuration is exercised under multi-threaded submission too.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -89,14 +93,16 @@ TEST(Stress, BarrierInsideHotLoop) {
 }
 
 class SchedulerSweep
-    : public ::testing::TestWithParam<std::tuple<SchedulerMode, StealOrder>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<SchedulerMode, StealOrder, bool>> {};
 
 TEST_P(SchedulerSweep, ContendedDagCorrect) {
-  auto [mode, order] = GetParam();
+  auto [mode, order, nested] = GetParam();
   Config cfg;
   cfg.num_threads = 8;
   cfg.scheduler_mode = mode;
   cfg.steal_order = order;
+  cfg.nested_tasks = nested;
   Runtime rt(cfg);
   constexpr int kChains = 24, kLen = 200;
   std::vector<long> chains(kChains, 0);
@@ -109,12 +115,109 @@ TEST_P(SchedulerSweep, ContendedDagCorrect) {
   for (long v : chains) ASSERT_EQ(v, expect);
 }
 
+TEST_P(SchedulerSweep, ConcurrentSubmissionHammer) {
+  // N parent tasks spawn simultaneously from every worker: per-parent
+  // dependency chains (private data), a shared opaque counter, and a
+  // taskwait-checked join. Hammers the submission mutex, the per-datum
+  // version chains, and the per-worker ready-list routing all at once.
+  auto [mode, order, nested] = GetParam();
+  if (!nested) GTEST_SKIP() << "hammer targets multi-threaded submission";
+  Config cfg;
+  cfg.num_threads = 8;
+  cfg.scheduler_mode = mode;
+  cfg.steal_order = order;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  constexpr int kParents = 16, kChildren = 200;
+  std::vector<long> lanes(kParents, 0);
+  std::atomic<long> shared{0};
+  std::atomic<int> joined_at_full{0};
+  for (int p = 0; p < kParents; ++p) {
+    rt.spawn(
+        [&rt, &shared, &joined_at_full](long* lane) {
+          for (int i = 0; i < kChildren; ++i)
+            rt.spawn(
+                [](long* q, std::atomic<long>* s) {
+                  *q += 1;
+                  s->fetch_add(1, std::memory_order_relaxed);
+                },
+                inout(lane), opaque(&shared));
+          rt.taskwait();
+          if (*lane == kChildren)
+            joined_at_full.fetch_add(1, std::memory_order_relaxed);
+        },
+        inout(&lanes[p]));
+  }
+  rt.barrier();
+  EXPECT_EQ(shared.load(), kParents * kChildren);
+  EXPECT_EQ(joined_at_full.load(), kParents);
+  for (long v : lanes) ASSERT_EQ(v, kChildren);
+  EXPECT_EQ(rt.stats().tasks_nested,
+            static_cast<std::uint64_t>(kParents) * kChildren);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, SchedulerSweep,
     ::testing::Combine(::testing::Values(SchedulerMode::Distributed,
                                          SchedulerMode::Centralized),
                        ::testing::Values(StealOrder::CreationOrder,
-                                         StealOrder::Random)));
+                                         StealOrder::Random),
+                       ::testing::Bool()));
+
+TEST(Stress, NestedSharedFanInAcrossParents) {
+  // Parents submit concurrently against *shared* data: each parent appends
+  // its own chain on a private lane, then one fan-in child reads the lane
+  // and accumulates into a shared total through a real inout dependency.
+  // The fan-in order across parents is nondeterministic but the sum is not.
+  Config cfg;
+  cfg.num_threads = 8;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  constexpr int kParents = 12, kSteps = 50;
+  std::vector<long> lanes(kParents, 0);
+  long total = 0;
+  for (int p = 0; p < kParents; ++p) {
+    rt.spawn(
+        [&rt, &total](long* lane) {
+          for (int i = 0; i < kSteps; ++i)
+            rt.spawn([](long* q) { *q += 1; }, inout(lane));
+          rt.taskwait();
+          // Commutative fan-in on shared `total`: dependency-safe because
+          // inout chains serialize whatever submission interleaving the
+          // parents produce.
+          rt.spawn([](const long* l, long* t) { *t += *l; }, in(lane),
+                   inout(&total));
+        },
+        inout(&lanes[p]));
+  }
+  rt.barrier();
+  EXPECT_EQ(total, static_cast<long>(kParents) * kSteps);
+}
+
+TEST(Stress, NestedDeepChurnManyRounds) {
+  // Repeated build/teardown with nested submission active, mirroring
+  // RuntimeChurn for the concurrent paths.
+  for (int round = 0; round < 10; ++round) {
+    Config cfg;
+    cfg.num_threads = 1 + round % 8;
+    cfg.nested_tasks = true;
+    Runtime rt(cfg);
+    std::atomic<int> leaves{0};
+    rt.spawn([&rt, &leaves] {
+      for (int i = 0; i < 8; ++i)
+        rt.spawn([&rt, &leaves] {
+          for (int j = 0; j < 8; ++j)
+            rt.spawn([&leaves] {
+              leaves.fetch_add(1, std::memory_order_relaxed);
+            });
+          rt.taskwait();
+        });
+      rt.taskwait();
+    });
+    rt.barrier();
+    ASSERT_EQ(leaves.load(), 64);
+  }
+}
 
 TEST(Stress, RenameChurnBounded) {
   Config cfg;

@@ -1,0 +1,206 @@
+// Runtime::taskwait() — the complete-my-children primitive that makes
+// barrier semantics compose with nested task parallelism: direct children
+// finish before the parent resumes, the waiting thread executes other ready
+// tasks meanwhile (so one thread or a recursion deeper than the pool cannot
+// deadlock), barrier-from-inside-a-task is diagnosed, and the inline
+// (paper-faithful) mode degrades it to a no-op.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss {
+namespace {
+
+Config nested_cfg(unsigned threads) {
+  Config c;
+  c.num_threads = threads;
+  c.nested_tasks = true;
+  return c;
+}
+
+TEST(Taskwait, ChildrenCompleteBeforeParentResumes) {
+  Runtime rt(nested_cfg(4));
+  constexpr int kChildren = 16;
+  std::atomic<int> done{0};
+  std::atomic<bool> all_done_at_resume{false};
+  rt.spawn([&rt, &done, &all_done_at_resume] {
+    for (int i = 0; i < kChildren; ++i)
+      rt.spawn([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    rt.taskwait();
+    all_done_at_resume.store(done.load(std::memory_order_relaxed) == kChildren,
+                             std::memory_order_relaxed);
+  });
+  rt.barrier();
+  EXPECT_TRUE(all_done_at_resume.load());
+  EXPECT_EQ(done.load(), kChildren);
+  EXPECT_EQ(rt.stats().tasks_nested, static_cast<std::uint64_t>(kChildren));
+  EXPECT_GE(rt.stats().taskwaits, 1u);
+}
+
+TEST(Taskwait, WaiterExecutesReadyTasksSingleThread) {
+  // One thread total: the main thread executes the parent at the barrier,
+  // the parent taskwaits, and the only way its children can run is the
+  // waiter executing them itself. Completing at all proves the
+  // run-ready-tasks-while-waiting path.
+  Runtime rt(nested_cfg(1));
+  std::atomic<int> ran{0};
+  bool resumed_after_children = false;
+  rt.spawn([&rt, &ran, &resumed_after_children] {
+    for (int i = 0; i < 8; ++i)
+      rt.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    rt.taskwait();
+    resumed_after_children = ran.load(std::memory_order_relaxed) == 8;
+  });
+  rt.barrier();
+  EXPECT_TRUE(resumed_after_children);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Taskwait, WaiterExecutesUnrelatedReadyTasks) {
+  // Two threads; the worker parks itself in a taskwait that can only finish
+  // once its child ran — and the child sits behind a pile of unrelated
+  // ready tasks. The waiting worker must chew through ready work instead of
+  // sleeping.
+  Runtime rt(nested_cfg(2));
+  std::atomic<int> unrelated{0};
+  std::atomic<bool> parent_resumed{false};
+  rt.spawn([&rt, &unrelated, &parent_resumed] {
+    for (int i = 0; i < 64; ++i)
+      rt.spawn([&unrelated] {
+        unrelated.fetch_add(1, std::memory_order_relaxed);
+      });
+    rt.taskwait();
+    parent_resumed.store(true, std::memory_order_relaxed);
+  });
+  rt.barrier();
+  EXPECT_TRUE(parent_resumed.load());
+  EXPECT_EQ(unrelated.load(), 64);
+}
+
+TEST(Taskwait, DeepRecursionBeyondWorkerCount) {
+  // A chain of nested parents each waiting on its single child: depth 64
+  // with 2 threads. Every level's taskwait must execute its own child on
+  // its own stack; blocking the thread instead would deadlock at depth 2.
+  Runtime rt(nested_cfg(2));
+  constexpr int kDepth = 64;
+  std::atomic<int> leaf_depth{0};
+  std::function<void(int)> spawn_level = [&](int d) {
+    if (d == kDepth) {
+      leaf_depth.store(d, std::memory_order_relaxed);
+      return;
+    }
+    rt.spawn([&spawn_level, d] { spawn_level(d + 1); });
+    rt.taskwait();
+  };
+  rt.spawn([&spawn_level] { spawn_level(1); });
+  rt.barrier();
+  EXPECT_EQ(leaf_depth.load(), kDepth);
+  EXPECT_EQ(rt.stats().tasks_nested, static_cast<std::uint64_t>(kDepth - 1));
+}
+
+TEST(Taskwait, WaitsDirectChildrenNotGrandchildren) {
+  // OpenMP semantics: taskwait joins direct children only. The grandchild
+  // deliberately outlives its parent (no taskwait in the child); the
+  // barrier still collects it.
+  Runtime rt(nested_cfg(4));
+  std::atomic<bool> grandchild_ran{false};
+  rt.spawn([&] {
+    rt.spawn([&] {  // child: spawns and returns without waiting
+      rt.spawn([&grandchild_ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        grandchild_ran.store(true, std::memory_order_relaxed);
+      });
+    });
+    rt.taskwait();  // joins the child; the grandchild may still be running
+  });
+  rt.barrier();
+  EXPECT_TRUE(grandchild_ran.load());
+}
+
+TEST(Taskwait, FromMainOutsideTasksDrainsAllWork) {
+  Runtime rt(nested_cfg(4));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i)
+    rt.spawn([&rt, &ran] {
+      rt.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  rt.taskwait();  // not a barrier: no realignment, but everything ran
+  EXPECT_EQ(ran.load(), 64);
+  rt.barrier();
+}
+
+TEST(Taskwait, NoOpInInlineModeInsideTask) {
+  // Paper-faithful mode: the child already ran inline by the time taskwait
+  // is reached, so taskwait returns immediately instead of deadlocking.
+  Config c;
+  c.num_threads = 2;  // nested_tasks defaults to false
+  Runtime rt(c);
+  int order = 0;
+  int child_at = 0, after_wait_at = 0;
+  rt.spawn([&] {
+    rt.spawn([&] { child_at = ++order; });
+    rt.taskwait();
+    after_wait_at = ++order;
+  });
+  rt.barrier();
+  EXPECT_EQ(child_at, 1);
+  EXPECT_EQ(after_wait_at, 2);
+  EXPECT_EQ(rt.stats().tasks_inlined, 1u);
+}
+
+TEST(Taskwait, NestedChildrenSeeRealDependencies) {
+  // A worker-submitted chain: the parent task spawns children with an inout
+  // chain on one datum; after taskwait the parent observes the final value,
+  // proving both the concurrent dependency analysis and the completion
+  // ordering.
+  Runtime rt(nested_cfg(4));
+  long x = 0;
+  long seen = -1;
+  rt.spawn(
+      [&rt, &seen](long* p) {
+        for (int i = 0; i < 100; ++i)
+          rt.spawn([](long* q) { *q += 1; }, inout(p));
+        rt.taskwait();
+        seen = *p;
+      },
+      inout(&x));
+  rt.barrier();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(x, 100);
+}
+
+TEST(TaskwaitDeath, BarrierInsideTaskBodyIsDiagnosed) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Runtime rt(nested_cfg(2));
+        rt.spawn([&rt] { rt.barrier(); });
+        rt.barrier();
+      },
+      "barrier is main-thread-only");
+}
+
+TEST(TaskwaitDeath, WaitOnInsideTaskBodyIsDiagnosed) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Runtime rt(nested_cfg(2));
+        int x = 0;
+        rt.spawn([&rt, &x](int* p) { *p = 1; rt.wait_on(&x); }, out(&x));
+        rt.barrier();
+      },
+      "wait_on is main-thread-only");
+}
+
+}  // namespace
+}  // namespace smpss

@@ -28,6 +28,53 @@ TEST(TaskWindow, MainThreadExecutesWhenWindowFull) {
   EXPECT_GT(s.acquired_main + s.acquired_own + s.acquired_high, 0u);
 }
 
+TEST(TaskWindow, NestedSubmittersThrottleBestEffort) {
+  // In nested mode the window also throttles in-task generators: a parent
+  // fanning out far past the window must trigger the drain-ready throttle
+  // (never a sleep — see Runtime::submit) and everything still completes.
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.task_window = 16;
+  cfg.task_window_low = 8;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  constexpr int kN = 2000;
+  std::vector<int> xs(kN, 0);
+  int* data = xs.data();
+  rt.spawn([&rt, data] {
+    for (int i = 0; i < kN; ++i)
+      rt.spawn([](int* p) { *p = 1; }, out(data + i));
+    rt.taskwait();
+  });
+  rt.barrier();
+  for (int v : xs) EXPECT_EQ(v, 1);
+  EXPECT_GE(rt.stats().nested_throttled, 1u);
+}
+
+TEST(TaskWindow, NestedDeepChainsUnderTinyWindowNoDeadlock) {
+  // Chains submitted from inside tasks with a window far smaller than the
+  // live set: the best-effort throttle must not deadlock even when the
+  // only ready sources are the throttled bodies themselves.
+  Config cfg;
+  cfg.num_threads = 2;
+  cfg.task_window = 2;
+  cfg.task_window_low = 1;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  long chains[4] = {0, 0, 0, 0};
+  for (long* c : {&chains[0], &chains[1], &chains[2], &chains[3]}) {
+    rt.spawn(
+        [&rt](long* p) {
+          for (int i = 0; i < 100; ++i)
+            rt.spawn([](long* q) { *q += 1; }, inout(p));
+          rt.taskwait();
+        },
+        inout(c));
+  }
+  rt.barrier();
+  for (long v : chains) EXPECT_EQ(v, 100);
+}
+
 TEST(TaskWindow, WindowOfTwoStillCorrectOnChains) {
   Config cfg;
   cfg.num_threads = 4;
