@@ -18,18 +18,40 @@ bool available_to(const TaskNode* task, const Version* v) {
   return prod == nullptr || v->is_produced() || prod == task ||
          task->has_ancestor(prod);
 }
+
+constexpr unsigned kMaxShards = 1u << 10;
+
+unsigned round_up_pow2(unsigned n) {
+  unsigned p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
 }  // namespace
+
+DependencyAnalyzer::DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
+                                       unsigned shard_count,
+                                       GraphRecorder* recorder)
+    : pool_(pool), renaming_(renaming_enabled), recorder_(recorder) {
+  if (shard_count < 1) shard_count = 1;
+  if (shard_count > kMaxShards) shard_count = kMaxShards;
+  shard_count = round_up_pow2(shard_count);
+  shard_mask_ = shard_count - 1;
+  shards_ = std::make_unique<Shard[]>(shard_count);
+}
 
 DependencyAnalyzer::~DependencyAnalyzer() {
   // Normal shutdown goes through flush_all() after a barrier; this handles
   // abandoned runtimes without leaking versions.
-  for (auto& [addr, e] : entries_) {
-    if (e.latest) e.latest->release(pool_);
+  for (unsigned s = 0; s <= shard_mask_; ++s) {
+    for (auto& [addr, e] : shards_[s].entries) {
+      if (e.latest) e.latest->release(pool_);
+    }
   }
 }
 
-DataEntry& DependencyAnalyzer::entry_for(void* addr, std::size_t bytes) {
-  auto [it, inserted] = entries_.try_emplace(addr);
+DataEntry& DependencyAnalyzer::entry_for(Shard& sh, void* addr,
+                                         std::size_t bytes) {
+  auto [it, inserted] = sh.entries.try_emplace(addr);
   DataEntry& e = it->second;
   if (inserted) {
     e.user_ptr = addr;
@@ -37,48 +59,50 @@ DataEntry& DependencyAnalyzer::entry_for(void* addr, std::size_t bytes) {
     // Initial version: the program's own storage, already "produced".
     e.latest = new Version(&e, addr, bytes, /*renamed=*/false,
                            /*producer=*/nullptr);
-    ++counters_.tracked_objects;
-  } else if (bytes > e.bytes) {
-    e.bytes = bytes;
+    ++sh.counters.tracked_objects;
   }
+  // Growth of e.bytes is a write-side decision (process_write): the tracked
+  // extent is the largest extent ever *written*, and the latest version
+  // always covers it (the copy-back invariant).
   return e;
 }
 
-void DependencyAnalyzer::add_edge(TaskNode* pred, TaskNode* succ,
+void DependencyAnalyzer::add_edge(Shard& sh, TaskNode* pred, TaskNode* succ,
                                   EdgeKind kind) {
   SMPSS_ASSERT(pred != succ);
   if (!pred->add_successor(succ)) return;  // predecessor already completed
   switch (kind) {
-    case EdgeKind::True: ++counters_.raw_edges; break;
-    case EdgeKind::Anti: ++counters_.war_edges; break;
-    case EdgeKind::Output: ++counters_.waw_edges; break;
+    case EdgeKind::True: ++sh.counters.raw_edges; break;
+    case EdgeKind::Anti: ++sh.counters.war_edges; break;
+    case EdgeKind::Output: ++sh.counters.waw_edges; break;
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
 }
 
 void* DependencyAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   SMPSS_ASSERT(!access.has_region);  // region accesses go to RegionAnalyzer
-  ++counters_.accesses;
-  DataEntry& e = entry_for(access.addr, access.bytes);
+  Shard& sh = shard_for(access.addr);
+  ++sh.counters.accesses;
+  DataEntry& e = entry_for(sh, access.addr, access.bytes);
   switch (access.dir) {
     case Dir::In:
-      return process_read(task, e, access.bytes);
+      return process_read(sh, task, e, access.bytes);
     case Dir::Out:
-      return process_write(task, e, access.bytes, /*also_reads=*/false);
+      return process_write(sh, task, e, access.bytes, /*also_reads=*/false);
     case Dir::InOut:
-      return process_write(task, e, access.bytes, /*also_reads=*/true);
+      return process_write(sh, task, e, access.bytes, /*also_reads=*/true);
   }
   return nullptr;  // unreachable
 }
 
-void* DependencyAnalyzer::process_read(TaskNode* task, DataEntry& e,
+void* DependencyAnalyzer::process_read(Shard& sh, TaskNode* task, DataEntry& e,
                                        std::size_t bytes) {
   Version* v = e.latest;
   SMPSS_CHECK(!v->renamed() || bytes <= v->bytes(),
               "task declares a larger input size than the renamed version "
               "holds — inconsistent parameter sizes on one datum");
   if (!available_to(task, v)) {
-    add_edge(v->producer(), task, EdgeKind::True);
+    add_edge(sh, v->producer(), task, EdgeKind::True);
   }
   v->register_reader(task);
   task->reads.push_back(v);
@@ -89,12 +113,22 @@ void* DependencyAnalyzer::process_read(TaskNode* task, DataEntry& e,
   return v->storage();
 }
 
-void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
-                                        std::size_t bytes, bool also_reads) {
+void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
+                                        DataEntry& e, std::size_t bytes,
+                                        bool also_reads) {
   Version* v = e.latest;
 
+  // Merged-extent invariant: e.bytes is the largest extent ever written and
+  // every version covers all of it, so copy-back of `latest` alone restores
+  // the full datum. A write smaller than the current extent therefore
+  // *inherits* the predecessor's tail bytes instead of truncating them; a
+  // write larger than it grows the extent.
+  const std::size_t old_ext = v->bytes();
+  if (bytes > e.bytes) e.bytes = bytes;
+  const std::size_t ext = e.bytes;
+
   if (also_reads && !available_to(task, v)) {
-    add_edge(v->producer(), task, EdgeKind::True);  // RAW on the old value
+    add_edge(sh, v->producer(), task, EdgeKind::True);  // RAW on the old value
   }
 
   void* storage = nullptr;
@@ -109,40 +143,72 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
     // choice, not a hazard.
     const bool others_reading = v->readers_pending() > 0;
     const bool old_unproduced = !available_to(task, v);
-    const bool hazard = also_reads ? others_reading
-                                   : (others_reading || old_unproduced);
+    // A renamed buffer's capacity is the extent it was allocated with; a
+    // growing write cannot reuse it in place (user storage can always grow —
+    // the program owns at least the declared bytes at that address).
+    const bool too_small = v->renamed() && ext > old_ext;
+    const bool hazard = (also_reads ? others_reading
+                                    : (others_reading || old_unproduced)) ||
+                        too_small;
     if (!hazard) {
       storage = v->storage();
       renamed = v->renamed();
       v->disown_storage();  // ownership moves to the new version
-      ++counters_.in_place_reuses;
+      ++sh.counters.in_place_reuses;
+      // In-place merge is free: tail bytes beyond `bytes` (if any) are
+      // already sitting in this storage.
     } else {
-      storage = pool_.allocate(bytes);
+      storage = pool_.allocate(ext);
       renamed = true;
-      if (also_reads) {
-        // The body starts from the old value: register as reader (keeps the
-        // old version's storage alive) and schedule the byte copy.
+      // Bytes the new version must inherit from the predecessor: everything
+      // for an inout (the body starts from the old value), the tail beyond
+      // the declared write for a shrinking out.
+      const std::size_t keep_lo = also_reads ? 0 : bytes;
+      if (keep_lo < old_ext) {
+        if (!also_reads && !available_to(task, v)) {
+          // The inherited tail is a true dependence on the old producer even
+          // though the body itself never reads it.
+          add_edge(sh, v->producer(), task, EdgeKind::True);
+        }
+        // Register as reader (keeps the old version's storage alive until
+        // this task completes) and schedule the byte copy.
         v->register_reader(task);
         task->reads.push_back(v);
         if (v->storage() == e.user_ptr) {
           e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
           task->user_pending_slots.push_back(&e.user_storage_pending);
         }
-        task->copy_ins.push_back(CopyIn{v->storage(), storage, bytes});
-        ++counters_.copy_ins;
-        counters_.copy_in_bytes += bytes;
+        task->copy_ins.push_back(
+            CopyIn{static_cast<const char*>(v->storage()) + keep_lo,
+                   static_cast<char*>(storage) + keep_lo, old_ext - keep_lo});
+        ++sh.counters.copy_ins;
+        sh.counters.copy_in_bytes += old_ext - keep_lo;
+      }
+      if (also_reads && ext > old_ext) {
+        // Growing inout: bytes [old_ext, ext) were never written by any
+        // task, so the body's initial value for them is the program's own
+        // storage. Reading it at task start needs the same quiescence
+        // accounting as any other user-storage access.
+        e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+        task->user_pending_slots.push_back(&e.user_storage_pending);
+        task->copy_ins.push_back(
+            CopyIn{static_cast<const char*>(e.user_ptr) + old_ext,
+                   static_cast<char*>(storage) + old_ext, ext - old_ext});
+        ++sh.counters.copy_ins;
+        sh.counters.copy_in_bytes += ext - old_ext;
       }
     }
   } else {
     // No-renaming ablation: everything stays in the user's storage and the
     // hazards the paper eliminates become explicit graph edges. Ancestor
-    // accesses are exempt for the same scoping reason as above.
+    // accesses are exempt for the same scoping reason as above. The merge
+    // invariant is trivial here — all writes land in user storage.
     if (!available_to(task, v)) {
-      add_edge(v->producer(), task, EdgeKind::Output);
+      add_edge(sh, v->producer(), task, EdgeKind::Output);
     }
     for (TaskNode* r : v->reader_tasks()) {
       if (r != task && !r->finished_hint() && !task->has_ancestor(r)) {
-        add_edge(r, task, EdgeKind::Anti);
+        add_edge(sh, r, task, EdgeKind::Anti);
       }
     }
     storage = v->storage();
@@ -150,7 +216,7 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
     v->disown_storage();
   }
 
-  auto* v2 = new Version(&e, storage, bytes, renamed, task);
+  auto* v2 = new Version(&e, storage, ext, renamed, task);
   e.latest = v2;
   v->release(pool_);  // drop the superseded version's latest-token
   task->produces.push_back(v2);
@@ -162,31 +228,54 @@ void* DependencyAnalyzer::process_write(TaskNode* task, DataEntry& e,
 }
 
 void DependencyAnalyzer::flush_all() {
-  for (auto& [addr, e] : entries_) {
-    Version* v = e.latest;
-    SMPSS_ASSERT(v->is_produced());
-    SMPSS_ASSERT(v->readers_pending() == 0);
-    if (v->storage() != e.user_ptr) {
-      std::memcpy(e.user_ptr, v->storage(), v->bytes());
-      counters_.copyback_bytes += v->bytes();
+  for (unsigned s = 0; s <= shard_mask_; ++s) {
+    Shard& sh = shards_[s];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    for (auto& [addr, e] : sh.entries) {
+      Version* v = e.latest;
+      SMPSS_ASSERT(v->is_produced());
+      SMPSS_ASSERT(v->readers_pending() == 0);
+      // The merged-extent invariant copy-back correctness rests on.
+      SMPSS_ASSERT(v->bytes() == e.bytes);
+      if (v->storage() != e.user_ptr) {
+        std::memcpy(e.user_ptr, v->storage(), v->bytes());
+        sh.counters.copyback_bytes += v->bytes();
+      }
+      v->release(pool_);
     }
-    v->release(pool_);
+    sh.entries.clear();
   }
-  entries_.clear();
 }
 
 DataEntry* DependencyAnalyzer::find(const void* addr) {
-  auto it = entries_.find(addr);
-  return it == entries_.end() ? nullptr : &it->second;
+  Shard& sh = shard_for(addr);
+  auto it = sh.entries.find(addr);
+  return it == sh.entries.end() ? nullptr : &it->second;
 }
 
 void DependencyAnalyzer::copy_back_latest(DataEntry& entry) {
   Version* v = entry.latest;
   SMPSS_ASSERT(v->is_produced());
+  SMPSS_ASSERT(v->bytes() == entry.bytes);
   if (v->storage() != entry.user_ptr) {
     std::memcpy(entry.user_ptr, v->storage(), v->bytes());
-    counters_.copyback_bytes += v->bytes();
+    shard_for(entry.user_ptr).counters.copyback_bytes += v->bytes();
   }
+}
+
+DependencyAnalyzer::Counters DependencyAnalyzer::counters_snapshot(
+    bool lock) const {
+  Counters out;
+  for (unsigned s = 0; s <= shard_mask_; ++s) {
+    const Shard& sh = shards_[s];
+    if (lock) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      out += sh.counters;
+    } else {
+      out += sh.counters;
+    }
+  }
+  return out;
 }
 
 }  // namespace smpss

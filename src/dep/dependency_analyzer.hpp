@@ -9,21 +9,31 @@
 // disabled (an ablation the paper argues against) anti- and output-
 // dependency edges are inserted instead.
 //
-// Threading: all methods run under the runtime's *submission order* — plain
-// main-thread execution in the paper-faithful configuration, or serialized
-// by the Runtime's submission mutex when nested tasks are enabled (any
-// thread may then submit). Workers interact with the data this class
-// creates only via the atomic tokens on TaskNode/Version, which is why the
-// hazard probes here (readers_pending / is_produced) stay correct while
-// tasks retire concurrently: pending-reader counts only shrink and produced
-// flags only rise, so a stale read can at worst cause a spurious rename,
-// never a missed hazard.
+// Sharding: the per-datum tables are split into `shard_count` hash-sharded
+// maps, each with its own mutex, so concurrent submitters only serialize
+// when their footprints collide on a shard — per-datum version-chain order,
+// not a global submission order, is what dependency correctness rests on.
+// The shard mutexes are *not* taken here: the Runtime acquires every shard a
+// task touches up front, in index order (two-phase locking, see
+// Runtime::analyze_accesses), which makes each whole-task analysis atomic
+// with respect to any other task sharing a shard and keeps the graph
+// acyclic. In the paper-faithful single-submitter configuration the
+// Runtime skips the locks entirely and calls straight in.
+//
+// Workers interact with the data this class creates only via the atomic
+// tokens on TaskNode/Version, which is why the hazard probes here
+// (readers_pending / is_produced) stay correct while tasks retire
+// concurrently: pending-reader counts only shrink and produced flags only
+// rise, so a stale read can at worst cause a spurious rename, never a
+// missed hazard.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
+#include "common/cache.hpp"
 #include "dep/access.hpp"
 #include "dep/renaming.hpp"
 #include "dep/version.hpp"
@@ -40,20 +50,53 @@ class DependencyAnalyzer {
     std::uint64_t war_edges = 0;      // only with renaming disabled
     std::uint64_t waw_edges = 0;      // only with renaming disabled
     std::uint64_t in_place_reuses = 0;
-    std::uint64_t copy_ins = 0;       // inout renames (byte copies)
+    std::uint64_t copy_ins = 0;       // inout renames + extent merges (copies)
     std::uint64_t copy_in_bytes = 0;
     std::uint64_t copyback_bytes = 0; // barrier/wait_on realignment copies
     std::uint64_t tracked_objects = 0;
+
+    Counters& operator+=(const Counters& o) noexcept {
+      accesses += o.accesses;
+      raw_edges += o.raw_edges;
+      war_edges += o.war_edges;
+      waw_edges += o.waw_edges;
+      in_place_reuses += o.in_place_reuses;
+      copy_ins += o.copy_ins;
+      copy_in_bytes += o.copy_in_bytes;
+      copyback_bytes += o.copyback_bytes;
+      tracked_objects += o.tracked_objects;
+      return *this;
+    }
   };
 
   DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
-                     GraphRecorder* recorder) noexcept
-      : pool_(pool), renaming_(renaming_enabled), recorder_(recorder) {}
+                     unsigned shard_count, GraphRecorder* recorder);
 
   DependencyAnalyzer(const DependencyAnalyzer&) = delete;
   DependencyAnalyzer& operator=(const DependencyAnalyzer&) = delete;
 
   ~DependencyAnalyzer();
+
+  // --- sharding (two-phase acquisition is the Runtime's job) ----------------
+
+  unsigned shard_count() const noexcept { return shard_mask_ + 1; }
+
+  /// Shard index owning `addr`. Stable for the analyzer's lifetime.
+  unsigned shard_of(const void* addr) const noexcept {
+    // Fibonacci hash over the address with the low alignment bits dropped;
+    // neighbouring allocations land on different shards.
+    auto p = reinterpret_cast<std::uintptr_t>(addr) >> 4;
+    return static_cast<unsigned>(
+               (static_cast<std::uint64_t>(p) * 0x9E3779B97F4A7C15ull) >> 32) &
+           shard_mask_;
+  }
+
+  /// The mutex guarding shard `s`. Lock shards in increasing index order.
+  std::mutex& shard_mutex(unsigned s) const noexcept {
+    return shards_[s].mu;
+  }
+
+  // --- analysis (callers hold the owning shard's mutex in concurrent mode) --
 
   /// Analyze one directional parameter of `task`: wire dependency edges,
   /// create/supersede versions, decide renaming. Returns the storage the
@@ -75,24 +118,48 @@ class DependencyAnalyzer {
   /// True if this address is currently tracked (used to diagnose mixing of
   /// address-mode and region-mode access on one array).
   bool tracks(const void* addr) const {
-    return entries_.find(addr) != entries_.end();
+    const Shard& sh = shards_[shard_of(addr)];
+    return sh.entries.find(addr) != sh.entries.end();
   }
 
-  const Counters& counters() const noexcept { return counters_; }
-  std::size_t live_entries() const noexcept { return entries_.size(); }
+  // --- introspection --------------------------------------------------------
+
+  /// Aggregate the per-shard counters. With `lock` the snapshot synchronizes
+  /// on each shard mutex in turn (concurrent-submitter mode); without it the
+  /// read assumes the single-submitter discipline.
+  Counters counters_snapshot(bool lock) const;
+
+  std::size_t live_entries() const noexcept {
+    std::size_t n = 0;
+    for (unsigned s = 0; s <= shard_mask_; ++s) n += shards_[s].entries.size();
+    return n;
+  }
 
  private:
-  DataEntry& entry_for(void* addr, std::size_t bytes);
-  void add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind);
-  void* process_read(TaskNode* task, DataEntry& e, std::size_t bytes);
-  void* process_write(TaskNode* task, DataEntry& e, std::size_t bytes,
-                      bool also_reads);
+  /// One stripe of the datum table: its own map, mutex, and counters, padded
+  /// so concurrent submitters on different shards never share a cache line.
+  struct alignas(kCacheLineSize) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<const void*, DataEntry> entries;
+    Counters counters;
+  };
+
+  Shard& shard_for(const void* addr) noexcept {
+    return shards_[shard_of(addr)];
+  }
+
+  DataEntry& entry_for(Shard& sh, void* addr, std::size_t bytes);
+  void add_edge(Shard& sh, TaskNode* pred, TaskNode* succ, EdgeKind kind);
+  void* process_read(Shard& sh, TaskNode* task, DataEntry& e,
+                     std::size_t bytes);
+  void* process_write(Shard& sh, TaskNode* task, DataEntry& e,
+                      std::size_t bytes, bool also_reads);
 
   RenamePool& pool_;
   bool renaming_;
   GraphRecorder* recorder_;
-  Counters counters_;
-  std::unordered_map<const void*, DataEntry> entries_;
+  unsigned shard_mask_;  // shard count is a power of two
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace smpss

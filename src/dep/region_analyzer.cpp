@@ -23,6 +23,7 @@ void* RegionAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   if (inserted) {
     e.elem_bytes = access.region.elem_bytes();
     ++counters_.tracked_arrays;
+    tracked_live_.fetch_add(1, std::memory_order_release);
   } else {
     SMPSS_CHECK(e.elem_bytes == access.region.elem_bytes(),
                 "one array accessed with two different element sizes");
@@ -63,6 +64,7 @@ void RegionAnalyzer::flush_all() {
     e.live.clear();
   }
   arrays_.clear();
+  tracked_live_.store(0, std::memory_order_release);
 }
 
 }  // namespace smpss

@@ -11,11 +11,15 @@
 // paper raises for representants ("representants cannot be reliably used if
 // there are false dependencies between the represented data").
 //
-// Threading: runs under the runtime's submission order, like
-// DependencyAnalyzer (main thread only in the paper-faithful configuration,
-// submission-mutex-serialized with nested tasks enabled).
+// Threading: main thread only in the paper-faithful configuration. With
+// concurrent submitters (nested mode) the Runtime guards this class with a
+// dedicated reader-writer lock ordered after the dependency shard mutexes:
+// region-qualified submissions hold it exclusively, address-mode
+// submissions hold it shared just long enough for the mixed-mode diagnosis
+// (tracks()), and stats() reads the counters under the shared side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +59,14 @@ class RegionAnalyzer {
     return arrays_.find(addr) != arrays_.end();
   }
 
+  /// Lock-free probe: has any region access been registered since the last
+  /// flush? Address-mode submitters use it to skip the region rwlock (and
+  /// the tracks() diagnosis) entirely while the program never touches
+  /// region mode — the overwhelmingly common case.
+  bool maybe_tracking() const noexcept {
+    return tracked_live_.load(std::memory_order_acquire) != 0;
+  }
+
   const Counters& counters() const noexcept { return counters_; }
 
  private:
@@ -73,6 +85,7 @@ class RegionAnalyzer {
   GraphRecorder* recorder_;
   Counters counters_;
   std::unordered_map<const void*, ArrayEntry> arrays_;
+  std::atomic<std::size_t> tracked_live_{0};  ///< arrays_.size(), lock-free
 };
 
 }  // namespace smpss

@@ -106,12 +106,18 @@ class Version {
   SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, submission-order writes
 };
 
-/// Per-datum bookkeeping (address-mode analysis). Entries live in an
-/// unordered_map owned by the analyzer; unordered_map guarantees reference
-/// stability so versions can point back at their entry.
+/// Per-datum bookkeeping (address-mode analysis). Entries live in the
+/// analyzer's hash-sharded unordered_maps (one map + mutex per shard);
+/// unordered_map guarantees reference stability so versions can point back
+/// at their entry. Mutation is guarded by the owning shard's mutex when
+/// submitters are concurrent.
 struct DataEntry {
   void* user_ptr = nullptr;  ///< the address the program passes to tasks
-  std::size_t bytes = 0;     ///< largest observed size for this address
+  /// Largest extent ever *written* at this address. Invariant: the latest
+  /// version always covers all of it (smaller writes inherit the
+  /// predecessor's tail), so copying back `latest` alone restores the
+  /// datum — see DependencyAnalyzer::process_write.
+  std::size_t bytes = 0;
   Version* latest = nullptr; ///< owns the latest-token
 
   /// Count of unfinished accesses whose storage is the *user* buffer.

@@ -2,13 +2,15 @@
 // edges by kind) for post-mortem inspection: DOT export (paper Fig. 5),
 // structural statistics, and the paper-exact count assertions in the tests.
 //
-// Nodes and edges are only ever recorded under the runtime's submission
-// order (plain main-thread execution, or the submission mutex when nested
-// tasks are enabled), so no synchronization is needed here beyond the
-// enable flag.
+// With the sharded submission pipeline, nodes and edges may be recorded by
+// several submitters at once (different tasks hold different shard locks),
+// so the record calls serialize on an internal mutex — taken only when
+// recording is enabled, which keeps the default configuration free of it.
+// The read accessors are for quiescent post-barrier inspection.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,26 +34,48 @@ class GraphRecorder {
     EdgeKind kind;
   };
 
+  GraphRecorder() = default;
+
+  // Movable for test/tool construction convenience; the internal mutex is
+  // not state, so moving just transfers the records. Callers must not move
+  // a recorder that concurrent submitters are still writing to.
+  GraphRecorder(GraphRecorder&& other) noexcept
+      : enabled_(other.enabled_),
+        nodes_(std::move(other.nodes_)),
+        edges_(std::move(other.edges_)) {}
+  GraphRecorder& operator=(GraphRecorder&& other) noexcept {
+    enabled_ = other.enabled_;
+    nodes_ = std::move(other.nodes_);
+    edges_ = std::move(other.edges_);
+    return *this;
+  }
+
   void set_enabled(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
 
   void record_node(std::uint64_t seq, std::uint32_t type_id) {
-    if (enabled_) nodes_.push_back(NodeRec{seq, type_id});
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    nodes_.push_back(NodeRec{seq, type_id});
   }
   void record_edge(std::uint64_t from, std::uint64_t to, EdgeKind kind) {
-    if (enabled_) edges_.push_back(EdgeRec{from, to, kind});
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    edges_.push_back(EdgeRec{from, to, kind});
   }
 
   const std::vector<NodeRec>& nodes() const noexcept { return nodes_; }
   const std::vector<EdgeRec>& edges() const noexcept { return edges_; }
 
   void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
     nodes_.clear();
     edges_.clear();
   }
 
  private:
   bool enabled_ = false;
+  std::mutex mu_;
   std::vector<NodeRec> nodes_;
   std::vector<EdgeRec> edges_;
 };

@@ -15,6 +15,8 @@ Config Config::from_env() {
     c.rename_memory_limit = static_cast<std::size_t>(*v) << 20;
   if (auto v = env_bool("SMPSS_RENAMING")) c.renaming = *v;
   if (auto v = env_bool("SMPSS_NESTED")) c.nested_tasks = *v;
+  if (auto v = env_int("SMPSS_DEP_SHARDS"); v && *v > 0)
+    c.dep_shards = static_cast<unsigned>(*v);
   if (auto v = env_string("SMPSS_SCHEDULER")) {
     if (*v == "centralized") c.scheduler_mode = SchedulerMode::Centralized;
     if (*v == "distributed") c.scheduler_mode = SchedulerMode::Distributed;
@@ -35,6 +37,7 @@ void Config::normalize() {
   if (task_window < 2) task_window = 2;
   if (task_window_low == 0 || task_window_low >= task_window)
     task_window_low = task_window / 2;
+  if (dep_shards == 0) dep_shards = 64;
   if (spin_acquires == 0) spin_acquires = 1;
 }
 

@@ -8,6 +8,7 @@
 //   SMPSS_RENAME_MEMORY_MB  renamed-storage blocking condition
 //   SMPSS_RENAMING          0/1 — disable/enable renaming
 //   SMPSS_NESTED            0/1 — real nested tasks instead of inlining
+//   SMPSS_DEP_SHARDS        dependency-table shards (1 = global lock)
 //   SMPSS_SCHEDULER         distributed | centralized
 //   SMPSS_STEAL_ORDER       creation | random
 //   SMPSS_PIN_THREADS       0/1
@@ -42,12 +43,21 @@ struct Config {
 
   /// Nested task parallelism. Off (the paper-faithful default, Sec. VII.D)
   /// demotes a spawn from inside a task to a plain inline function call. On,
-  /// any thread may submit real tasks: dependency analysis is serialized by
-  /// a submission mutex (submission order defines the dependency order, as
-  /// in the later BSC runtimes that lifted this restriction), tasks track
-  /// their parent, and Runtime::taskwait() waits for the calling task's
-  /// children while executing other ready tasks.
+  /// any thread may submit real tasks: dependency analysis runs through the
+  /// address-striped shard pipeline (per-datum serialization, as in the
+  /// later BSC runtimes that lifted this restriction), tasks track their
+  /// parent, and Runtime::taskwait() waits for the calling task's children
+  /// while executing other ready tasks.
   bool nested_tasks = false;
+
+  /// Shard count of the address-striped dependency pipeline: the per-datum
+  /// tracking tables are split into this many hash-sharded maps, each with
+  /// its own mutex, and a submission locks only the shards its parameters
+  /// hash to (in index order — two-phase acquisition). Only exercised with
+  /// nested_tasks (the single-submitter path takes no locks at all).
+  /// 0 = auto (64); values round up to a power of two; 1 reproduces the
+  /// global-submission-lock behavior (the bench baseline).
+  unsigned dep_shards = 0;
 
   SchedulerMode scheduler_mode = SchedulerMode::Distributed;
   StealOrder steal_order = StealOrder::CreationOrder;

@@ -1,5 +1,7 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
+
 #include "common/affinity.hpp"
 #include "common/timing.hpp"
 #include "runtime/thread_context.hpp"
@@ -14,7 +16,7 @@ Runtime::Runtime(Config cfg)
       }()),
       main_thread_id_(std::this_thread::get_id()),
       pool_(cfg_.rename_memory_limit),
-      dep_(pool_, cfg_.renaming, &recorder_),
+      dep_(pool_, cfg_.renaming, cfg_.dep_shards, &recorder_),
       regions_(&recorder_),
       ready_(cfg_.num_threads, cfg_.scheduler_mode, cfg_.steal_order) {
   recorder_.set_enabled(cfg_.record_graph);
@@ -32,7 +34,36 @@ Runtime::Runtime(Config cfg)
 }
 
 Runtime::~Runtime() {
-  barrier();
+  if (on_main_thread() && !in_task_context()) {
+    barrier();
+  } else {
+    // Destruction off the constructing thread gets its own drain path
+    // instead of barrier()'s misleading main-thread-only diagnostic. A
+    // runtime must never be destroyed from inside one of its own task
+    // bodies — the destructor would wait for the very task it runs in.
+    SMPSS_CHECK(!(in_task_context() && detail::tls.current_owner == this),
+                "~Runtime may not run inside one of this runtime's own task "
+                "bodies — finish the task (or move destruction to another "
+                "thread) first");
+    // The destroying thread takes over ready-list slot 0: a valid
+    // destruction implies the constructing thread has stopped using this
+    // runtime, so the slot has no other owner. Registering as worker 0 (not
+    // just borrowing acquire(0)) matters: task bodies executed here then
+    // submit and taskwait as a normal in-task worker — the never-sleeping
+    // throttle, own-list child execution — instead of being misclassified
+    // as foreign threads, which must never run inside a task. Save/restore:
+    // the destroying thread may be a worker of a *different* runtime.
+    detail::ThreadContext& tc = detail::tls;
+    Runtime* prev_rt = tc.rt;
+    const unsigned prev_tid = tc.tid;
+    tc.rt = this;
+    tc.tid = 0;
+    while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
+    tc.rt = prev_rt;
+    tc.tid = prev_tid;
+    dep_.flush_all();
+    regions_.flush_all();
+  }
   shutdown_.store(true, std::memory_order_release);
   gate_.notify_all();
   for (auto& th : threads_) th.join();
@@ -55,14 +86,19 @@ TaskType Runtime::register_task_type(std::string name, bool high_priority) {
   return TaskType{static_cast<std::uint32_t>(types_.size() - 1)};
 }
 
-void* Runtime::route_access(TaskNode* t, const AccessDesc& d) {
+void* Runtime::route_access(TaskNode* t, const AccessDesc& d,
+                            bool check_region_table) {
   SMPSS_CHECK(d.addr != nullptr, "null pointer passed as task parameter");
   if (d.has_region) {
     SMPSS_CHECK(!dep_.tracks(d.addr),
                 "array accessed both with and without region specifiers");
     return regions_.process(t, d);
   }
-  SMPSS_CHECK(!regions_.tracks(d.addr),
+  // `check_region_table` is false only on the concurrent path when the
+  // region table was empty at lock-decision time (the region rwlock is then
+  // not held, so the table must not be read — and an empty table cannot
+  // conflict with this address anyway).
+  SMPSS_CHECK(!check_region_table || !regions_.tracks(d.addr),
               "array accessed both with and without region specifiers");
   SMPSS_CHECK(d.bytes > 0, "task parameter with zero size");
   return dep_.process(t, d);
@@ -85,14 +121,54 @@ void Runtime::begin_submission(TaskNode* t) {
       t->parent = parent;
       nested_spawned_.fetch_add(1, std::memory_order_relaxed);
     }
-    submit_mu_.lock();
   }
-  t->seq = ++seq_;
+  t->seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   recorder_.record_node(t->seq, t->type_id);
 }
 
-void Runtime::end_submission() {
-  if (cfg_.nested_tasks) submit_mu_.unlock();
+void Runtime::analyze_accesses(TaskNode* t, const AccessDesc* descs,
+                               std::size_t n) {
+  // Two-phase shard acquisition. Every shard this task's footprint hashes
+  // to is locked up front, in increasing index order (deadlock-free), and
+  // held until the whole analysis is done. That makes each submission
+  // atomic with respect to any other submission sharing a shard: two
+  // conflicting submissions are totally ordered in real time, so per-datum
+  // version chains stay mutually consistent and edges always point from an
+  // earlier critical section into a later one — no cycles. Region-qualified
+  // accesses contribute the shard of their base address too (the mixed-mode
+  // diagnosis reads it).
+  SmallVector<unsigned, 8> shard_ids;
+  bool any_region = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_ids.push_back(dep_.shard_of(descs[i].addr));
+    any_region |= descs[i].has_region;
+  }
+  std::sort(shard_ids.begin(), shard_ids.end());
+  unsigned* shards_end = std::unique(shard_ids.begin(), shard_ids.end());
+  for (unsigned* it = shard_ids.begin(); it != shards_end; ++it)
+    dep_.shard_mutex(*it).lock();
+  // The region table is ordered after every shard mutex. Region-mode
+  // submissions hold it exclusively; address-mode submissions only need it
+  // shared (for the mixed-mode diagnosis) — and skip even that while the
+  // region table has never been touched, so the common address-only case
+  // pays no shared-cache-line RMW here at all.
+  const bool check_regions = any_region || regions_.maybe_tracking();
+  if (n != 0 && check_regions) {
+    if (any_region)
+      region_mu_.lock();
+    else
+      region_mu_.lock_shared();
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    t->resolved.push_back(route_access(t, descs[i], check_regions));
+  if (n != 0 && check_regions) {
+    if (any_region)
+      region_mu_.unlock();
+    else
+      region_mu_.unlock_shared();
+  }
+  for (unsigned* it = shard_ids.begin(); it != shards_end; ++it)
+    dep_.shard_mutex(*it).unlock();
 }
 
 unsigned Runtime::submitter_tid() const noexcept {
@@ -125,7 +201,35 @@ void Runtime::submit(TaskNode* t) {
     // the hard limit stays with the paper's sequential generator below.
     if (!cfg_.nested_tasks || detail::tls.in_throttle) return;
     const unsigned tid = submitter_tid();
-    if (tid == kForeignTid) return;
+    if (tid == kForeignTid) {
+      // Foreign threads get the *hard* blocking condition: they execute no
+      // tasks of this runtime, so sleeping on the gate cannot starve the
+      // graph of ready sources — and without the gate they could grow the
+      // graph (and the renamed-storage footprint) without bound.
+      //
+      // Two exemptions, both liveness: a thread inside *some* task body
+      // (another runtime's worker submitting here) must never sleep — its
+      // own pool may be waiting on it; and a runtime with no worker threads
+      // has no independent executor to drain the graph while the main
+      // thread is elsewhere (e.g. blocked joining this very submitter), so
+      // the window stays soft there as it was before the gate existed.
+      if (in_task_context() || cfg_.num_threads < 2) return;
+      const auto blocked = [&] {
+        const std::size_t live = tasks_live_.load(std::memory_order_acquire);
+        return live > cfg_.task_window_low ||
+               (pool_.over_limit() && live > 0);
+      };
+      if (tasks_live_.load(std::memory_order_relaxed) >= cfg_.task_window ||
+          pool_.over_limit()) {
+        foreign_throttled_.fetch_add(1, std::memory_order_relaxed);
+        while (blocked()) {
+          std::uint64_t seen = gate_.prepare_wait();
+          if (!blocked()) break;
+          gate_.wait(seen, std::chrono::microseconds(200));
+        }
+      }
+      return;
+    }
     if (tasks_live_.load(std::memory_order_relaxed) >= cfg_.task_window ||
         pool_.over_limit()) {
       nested_throttled_.fetch_add(1, std::memory_order_relaxed);
@@ -256,8 +360,13 @@ void Runtime::execute_task(TaskNode* t, unsigned tid) {
       gate_.notify_all();  // wake a taskwait()-blocked thread
   }
 
-  if (tasks_live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    gate_.notify_all();  // wake a barrier-waiting main thread
+  // Wake sleepers at the two thresholds they block on: zero (barrier /
+  // outside-task taskwait) and the task-window low-water mark (a throttled
+  // main thread in help_once, or a gated foreign submitter).
+  const std::size_t live_before =
+      tasks_live_.fetch_sub(1, std::memory_order_acq_rel);
+  if (live_before == 1 || live_before == cfg_.task_window_low + 1) {
+    gate_.notify_all();
   }
   t->release();
 }
@@ -333,12 +442,13 @@ void Runtime::wait_on_addr(const void* addr) {
               "wait_on is main-thread-only and may not be called inside a "
               "task body");
   // In nested mode concurrent submitters may be mutating the tracking
-  // tables; every peek at them synchronizes on the submission order. The
-  // copy-back itself also runs inside it so the "latest" version cannot be
-  // superseded mid-copy.
+  // tables; every peek synchronizes on the table that owns the address —
+  // the region rwlock, or the one dependency shard the address hashes to.
+  // The copy-back itself also runs under the shard lock so the "latest"
+  // version cannot be superseded mid-copy.
   bool region_tracked;
   {
-    std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
+    std::shared_lock<std::shared_mutex> lk(region_mu_, std::defer_lock);
     if (cfg_.nested_tasks) lk.lock();
     region_tracked = regions_.tracks(addr);
   }
@@ -348,9 +458,11 @@ void Runtime::wait_on_addr(const void* addr) {
     while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
     return;
   }
+  const unsigned shard = dep_.shard_of(addr);
   while (true) {
     {
-      std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
+      std::unique_lock<std::mutex> lk(dep_.shard_mutex(shard),
+                                      std::defer_lock);
       if (cfg_.nested_tasks) lk.lock();
       DataEntry* e = dep_.find(addr);
       if (!e) return;  // never written by a task: nothing to wait for
@@ -371,18 +483,25 @@ StatsSnapshot Runtime::stats() const {
   s.tasks_nested = nested_spawned_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
   s.nested_throttled = nested_throttled_.load(std::memory_order_relaxed);
+  s.foreign_throttled = foreign_throttled_.load(std::memory_order_relaxed);
   s.ready_at_creation = ready_at_creation_.load(std::memory_order_relaxed);
   s.barriers = barriers_;
   s.main_blocked_on_window = blocked_window_;
   s.main_blocked_on_memory = blocked_memory_;
 
-  // The analyzer counters are plain fields guarded by the submission order;
-  // snapshot them under it so a stats() call racing nested submitters stays
-  // well-defined.
-  std::unique_lock<std::mutex> lk(submit_mu_, std::defer_lock);
-  if (cfg_.nested_tasks) lk.lock();
-  const auto& dc = dep_.counters();
-  const auto& rc = regions_.counters();
+  // The analyzer counters are plain fields guarded by the lock that guards
+  // their table: snapshot the dependency counters shard by shard and the
+  // region counters under the region rwlock (shared side) so a stats() call
+  // racing nested submitters stays well-defined. The single-submitter
+  // configuration skips the locks, as everywhere else.
+  const DependencyAnalyzer::Counters dc =
+      dep_.counters_snapshot(/*lock=*/cfg_.nested_tasks);
+  RegionAnalyzer::Counters rc;
+  {
+    std::shared_lock<std::shared_mutex> lk(region_mu_, std::defer_lock);
+    if (cfg_.nested_tasks) lk.lock();
+    rc = regions_.counters();
+  }
   s.raw_edges = dc.raw_edges + rc.raw_edges;
   s.war_edges = dc.war_edges + rc.war_edges;
   s.waw_edges = dc.waw_edges + rc.waw_edges;

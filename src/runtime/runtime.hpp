@@ -24,19 +24,24 @@
 //
 // With Config::nested_tasks (SMPSS_NESTED=1) the inline demotion is lifted:
 // spawn() is thread-safe and a spawn from inside a task creates a real child
-// task. Dependency analysis is serialized by a submission mutex — the
-// resulting total submission order plays the role the program order plays in
-// the sequential model, so the graph stays acyclic no matter which threads
-// submit. The paper-faithful path never takes the mutex (single submitter).
-// taskwait() suspends the calling task until its direct children finished,
-// executing other ready tasks meanwhile; barrier/wait_on remain main-thread,
-// outside-any-task calls.
+// task. Dependency analysis runs through an address-striped pipeline: the
+// per-datum tracking tables are hash-sharded (Config::dep_shards), each
+// submission locks only the shards its parameters fall in (acquired in
+// index order, held for the whole analysis — strict two-phase locking), and
+// task sequence numbers come from an atomic counter. Correctness rests on
+// per-datum version-chain order, not on a global submission order: any two
+// submissions that share a datum share its shard and are therefore totally
+// ordered, which keeps the graph acyclic. The paper-faithful path never
+// takes any lock (single submitter). taskwait() suspends the calling task
+// until its direct children finished, executing other ready tasks
+// meanwhile; barrier/wait_on remain main-thread, outside-any-task calls.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +73,13 @@ struct TaskTypeInfo {
 class Runtime {
  public:
   explicit Runtime(Config cfg = Config::from_env());
+
+  /// Drains all in-flight tasks, realigns renamed data, and joins the
+  /// workers. Callable from any thread *outside* this runtime's own task
+  /// bodies: destruction on the constructing thread runs a full barrier();
+  /// destruction elsewhere uses a dedicated drain path (the destroying
+  /// thread takes over the main ready-list slot — by the time destruction
+  /// is valid, the constructing thread no longer uses this runtime).
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -111,14 +123,23 @@ class Runtime {
                                    std::forward<Ps>(ps)...)};
     t->set_vtable(&C::vtable);
 
-    // Sequence number, parent hookup, node record, and dependency analysis
-    // all happen under the submission order (a mutex in nested mode; plain
-    // main-thread execution otherwise).
+    // Parent hookup, atomic sequence number, node record.
     begin_submission(t);
-    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
-      (analyze_param<Is>(closure, t), ...);
-    }(std::index_sequence_for<Ps...>{});
-    end_submission();
+    if (!cfg_.nested_tasks) {
+      // Zero-lock single-submitter fast path: analyze straight into the
+      // tracking tables in parameter order.
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        (analyze_param<Is>(closure, t), ...);
+      }(std::index_sequence_for<Ps...>{});
+    } else {
+      // Concurrent submitters: collect the footprint first, then run the
+      // analysis under the two-phase shard acquisition.
+      SmallVector<AccessDesc, 6> descs;
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        (collect_param<Is>(closure, descs), ...);
+      }(std::index_sequence_for<Ps...>{});
+      analyze_accesses(t, descs.begin(), descs.size());
+    }
 
     submit(t);
   }
@@ -202,15 +223,29 @@ class Runtime {
     }
   }
 
-  /// Dispatch one access to the address-mode or region-mode analyzer,
-  /// diagnosing mixed-mode use of one array.
-  void* route_access(TaskNode* t, const AccessDesc& d);
+  template <std::size_t I, typename C>
+  void collect_param(C* closure, SmallVector<AccessDesc, 6>& out) {
+    using P = std::tuple_element_t<I, decltype(closure->params)>;
+    if constexpr (detail::ParamTraits<P>::directional)
+      out.push_back(detail::ParamTraits<P>::desc(std::get<I>(closure->params)));
+  }
 
-  /// Enter the submission order: take the submission mutex (nested mode
-  /// only), assign the sequence number, hook up the parent link, record the
-  /// graph node. end_submission() leaves the order again.
+  /// Dispatch one access to the address-mode or region-mode analyzer,
+  /// diagnosing mixed-mode use of one array. `check_region_table` is false
+  /// only when the concurrent path decided the region table was empty and
+  /// therefore did not take the region rwlock (see analyze_accesses).
+  void* route_access(TaskNode* t, const AccessDesc& d,
+                     bool check_region_table = true);
+
+  /// Concurrent-submitter analysis: lock the shards this footprint hashes to
+  /// (in index order), plus the region table (shared for address-only
+  /// tasks), run every per-datum analysis, release. Strict two-phase
+  /// locking: any two submissions sharing a shard are totally ordered.
+  void analyze_accesses(TaskNode* t, const AccessDesc* descs, std::size_t n);
+
+  /// Hook up the parent link, assign the (atomic) sequence number, record
+  /// the graph node.
   void begin_submission(TaskNode* t);
-  void end_submission();
 
   /// Account the new task, release its creation guard, then apply the
   /// Sec. III blocking conditions (task window, rename-memory limit).
@@ -249,14 +284,19 @@ class Runtime {
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> inlined_{0};
 
-  /// Serializes dependency analysis when multiple threads submit (nested
-  /// mode). The paper-faithful single-submitter path never touches it.
-  /// Mutable: stats() locks it to snapshot analyzer counters consistently.
-  mutable std::mutex submit_mu_;
+  /// Guards the RegionAnalyzer tables, ordered after every dependency
+  /// shard mutex in the two-phase acquisition. Region-qualified submissions
+  /// hold it exclusively; address-mode submissions hold it shared (only for
+  /// the mixed-mode diagnosis), so they stay mutually concurrent. The
+  /// single-submitter path never touches it. Mutable: stats() takes it
+  /// shared to snapshot the region counters.
+  mutable std::shared_mutex region_mu_;
 
-  // guarded by the submission order (submit_mu_ in nested mode, otherwise
-  // main-thread-only)
-  std::uint64_t seq_ = 0;
+  /// Invocation identifier source. Atomic: sequence numbers identify tasks
+  /// in traces and the recorded graph but no longer define a global
+  /// submission order — correctness rests on per-datum version-chain order
+  /// established under the shard locks.
+  std::atomic<std::uint64_t> seq_{0};
 
   // submission-side counters; atomics because nested mode submits from many
   // threads concurrently
@@ -264,6 +304,7 @@ class Runtime {
   std::atomic<std::uint64_t> nested_spawned_{0};
   std::atomic<std::uint64_t> taskwaits_{0};
   std::atomic<std::uint64_t> nested_throttled_{0};
+  std::atomic<std::uint64_t> foreign_throttled_{0};
   std::atomic<std::uint64_t> ready_at_creation_{0};
 
   // main-thread-only counters

@@ -60,6 +60,11 @@ struct StatsSnapshot {
   /// drained ready tasks (a best-effort, never-sleeping throttle — see
   /// Runtime::submit; the hard blocking conditions remain main-thread).
   std::uint64_t nested_throttled = 0;
+  /// Foreign-thread submissions that hit the task-window/rename-memory limit
+  /// and slept on the gate until the graph drained below the low-water mark
+  /// (a foreign thread executes no tasks, so it blocks hard instead of
+  /// draining — see Runtime::submit).
+  std::uint64_t foreign_throttled = 0;
   std::uint64_t ready_at_creation = 0;
   std::uint64_t barriers = 0;
   std::uint64_t main_blocked_on_window = 0;

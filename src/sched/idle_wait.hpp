@@ -1,4 +1,11 @@
-// Idle/wakeup coordination for worker threads.
+// Idle/wakeup coordination for worker threads and throttled submitters.
+//
+// Besides idle workers, the gate carries the runtime's threshold sleepers:
+// a barrier-waiting main thread (wakes when the live-task count hits zero),
+// window-throttled helpers, and gated foreign submitters (both woken when
+// the count crosses the task-window low-water mark — Runtime::execute_task
+// notifies at exactly those two crossings). Threshold sleepers always pass
+// a bounded timeout, so a missed crossing costs one re-poll, never a hang.
 //
 // Workers that find no ready work spin briefly (task inter-arrival at the
 // paper's target granularity is short), then block on a condition variable.
