@@ -1,0 +1,134 @@
+// Per-task overhead microbench for the retire-side fast path: spawn+retire
+// latency with near-empty bodies, isolating what the runtime itself costs
+// per task. Three shapes, each stressing one layer of the completion-side
+// overhaul, each ablated via the knobs so CI's bench-compare gate tracks
+// every layer separately:
+//
+//   * independent  — N tasks with no edges: pure spawn/retire churn. Pooled
+//     TaskNode/closure storage (Config::pool_cache) vs. the malloc/free
+//     baseline (pool_cache = 0).
+//   * chain1       — one long inout chain: every completion releases exactly
+//     one successor, the immediate-chaining case (Config::chain_depth) vs.
+//     the paper-faithful list round trip (chain_depth = 0).
+//   * fanout       — a producer releasing W readers per round: the batched
+//     release path (one list publication + at most one wakeup per burst).
+//
+// CI serializes this into BENCH_task_overhead.json next to the submission
+// bench; tools/bench_compare.py diffs both against the cached main baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+smpss::Config overhead_config(unsigned chain_depth, unsigned pool_cache) {
+  smpss::Config cfg;
+  cfg.num_threads = 4;
+  cfg.chain_depth = chain_depth;
+  cfg.pool_cache = pool_cache;
+  cfg.task_window = 1u << 16;  // measure the lifecycle, not the throttle
+  return cfg;
+}
+
+void report(benchmark::State& state, std::uint64_t tasks,
+            const smpss::Runtime& rt) {
+  state.counters["tasks_per_s"] = benchmark::Counter(
+      static_cast<double>(tasks), benchmark::Counter::kIsRate);
+  state.counters["ns_per_task"] = benchmark::Counter(
+      static_cast<double>(tasks),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  const auto s = rt.stats();
+  state.counters["chained"] =
+      benchmark::Counter(static_cast<double>(s.chained_executions));
+  state.counters["pool_hits"] =
+      benchmark::Counter(static_cast<double>(s.pool_hits));
+  state.counters["wakeups_suppressed"] =
+      benchmark::Counter(static_cast<double>(s.wakeups_suppressed));
+}
+
+// --- independent: spawn/retire churn, pooling ablation -----------------------
+
+constexpr int kIndependentTasks = 20000;
+
+void independent_bench(benchmark::State& state, unsigned pool_cache) {
+  smpss::Runtime rt(overhead_config(smpss::Config{}.chain_depth, pool_cache));
+  std::vector<long> lanes(256, 0);
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kIndependentTasks; ++i)
+      rt.spawn([](long* p) { *p += 1; }, smpss::inout(&lanes[i % 256]));
+    rt.barrier();
+    tasks += kIndependentTasks;
+  }
+  report(state, tasks, rt);
+}
+
+void BM_TaskOverhead_Independent_Pooled(benchmark::State& state) {
+  independent_bench(state, smpss::Config{}.pool_cache);
+}
+void BM_TaskOverhead_Independent_Malloc(benchmark::State& state) {
+  independent_bench(state, /*pool_cache=*/0);
+}
+
+// --- chain1: immediate-successor chaining ablation ---------------------------
+
+constexpr int kChainLen = 20000;
+
+void chain_bench(benchmark::State& state, unsigned chain_depth) {
+  smpss::Runtime rt(overhead_config(chain_depth, smpss::Config{}.pool_cache));
+  long x = 0;
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kChainLen; ++i)
+      rt.spawn([](long* p) { *p += 1; }, smpss::inout(&x));
+    rt.barrier();
+    tasks += kChainLen;
+  }
+  report(state, tasks, rt);
+}
+
+void BM_TaskOverhead_Chain1_Chained(benchmark::State& state) {
+  chain_bench(state, smpss::Config{}.chain_depth);
+}
+void BM_TaskOverhead_Chain1_ListRoundTrip(benchmark::State& state) {
+  chain_bench(state, /*chain_depth=*/0);
+}
+
+// --- fanout: batched multi-successor release ---------------------------------
+
+constexpr int kFanRounds = 200;
+constexpr int kFanWidth = 64;
+
+void BM_TaskOverhead_FanOut(benchmark::State& state) {
+  smpss::Runtime rt(
+      overhead_config(smpss::Config{}.chain_depth, smpss::Config{}.pool_cache));
+  long src = 0;
+  std::vector<long> sinks(kFanWidth, 0);
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < kFanRounds; ++r) {
+      rt.spawn([](long* p) { *p += 1; }, smpss::inout(&src));
+      for (int w = 0; w < kFanWidth; ++w)
+        rt.spawn(
+            [](const long* s, long* d) { *d += *s; }, smpss::in(&src),
+            smpss::inout(&sinks[w]));
+    }
+    rt.barrier();
+    tasks += static_cast<std::uint64_t>(kFanRounds) * (kFanWidth + 1);
+  }
+  report(state, tasks, rt);
+  state.counters["batched_releases"] = benchmark::Counter(
+      static_cast<double>(rt.stats().batched_releases));
+}
+
+}  // namespace
+
+BENCHMARK(BM_TaskOverhead_Independent_Pooled)->UseRealTime();
+BENCHMARK(BM_TaskOverhead_Independent_Malloc)->UseRealTime();
+BENCHMARK(BM_TaskOverhead_Chain1_Chained)->UseRealTime();
+BENCHMARK(BM_TaskOverhead_Chain1_ListRoundTrip)->UseRealTime();
+BENCHMARK(BM_TaskOverhead_FanOut)->UseRealTime();

@@ -1,0 +1,37 @@
+// Single-writer statistics cells shared by the runtime's per-worker counter
+// blocks and the slab pools. Kept in common/ so low-level allocators can
+// count without depending on runtime/ headers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace smpss {
+
+/// Single-writer statistics cell: updated by exactly one thread with a
+/// relaxed load+store pair (a plain add in machine code — no RMW needed
+/// because there is only one writer), read by concurrent snapshots without
+/// formal data races.
+class Counter64 {
+ public:
+  void add(std::uint64_t d) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + d,
+             std::memory_order_relaxed);
+  }
+  Counter64& operator+=(std::uint64_t d) noexcept {
+    add(d);
+    return *this;
+  }
+  Counter64& operator++() noexcept {
+    add(1);
+    return *this;
+  }
+  std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace smpss

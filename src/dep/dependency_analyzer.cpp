@@ -70,6 +70,13 @@ DataEntry& DependencyAnalyzer::entry_for(Shard& sh, void* addr,
 void DependencyAnalyzer::add_edge(Shard& sh, TaskNode* pred, TaskNode* succ,
                                   EdgeKind kind) {
   SMPSS_ASSERT(pred != succ);
+  // Release-side fast path: a predecessor whose completion hint is already
+  // visible can never accept a new successor — the hint is published after
+  // completion flips `completed_` under the successor lock, so a true hint
+  // implies add_successor would refuse. Skipping it here keeps the retired
+  // producer's lock word untouched (no RMW on a cold cache line) for the
+  // common re-read of long-finished data.
+  if (pred->finished_hint()) return;
   if (!pred->add_successor(succ)) return;  // predecessor already completed
   switch (kind) {
     case EdgeKind::True: ++sh.counters.raw_edges; break;

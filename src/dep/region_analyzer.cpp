@@ -5,6 +5,7 @@
 namespace smpss {
 
 void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
+  if (pred->finished_hint()) return;  // finished: can't take successors
   if (!pred->add_successor(succ)) return;
   switch (kind) {
     case EdgeKind::True: ++counters_.raw_edges; break;

@@ -20,6 +20,7 @@
 #include <new>
 
 #include "common/check.hpp"
+#include "common/slab_pool.hpp"
 #include "common/small_vector.hpp"
 #include "common/spin.hpp"
 
@@ -64,7 +65,9 @@ class TaskNode {
   ~TaskNode() {
     if (vtable_) vtable_->destroy(closure_);
     if (closure_ && closure_ != inline_buf_) {
-      if (heap_closure_align_ > alignof(std::max_align_t)) {
+      if (closure_pooled_) {
+        arena->closures.deallocate(closure_);
+      } else if (heap_closure_align_ > alignof(std::max_align_t)) {
         ::operator delete(closure_, std::align_val_t{heap_closure_align_});
       } else {
         ::operator delete(closure_);
@@ -76,10 +79,17 @@ class TaskNode {
   // --- closure ------------------------------------------------------------
 
   /// Reserve closure storage of `bytes`/`align`; returns the slot to
-  /// placement-new into. Must be followed by set_vtable().
-  void* allocate_closure(std::size_t bytes, std::size_t align) {
+  /// placement-new into. Must be followed by set_vtable(). `alloc_slot` is
+  /// the submitting thread's pool slot, only consulted when the closure
+  /// overflows the inline buffer and the node belongs to an arena.
+  void* allocate_closure(std::size_t bytes, std::size_t align,
+                         unsigned alloc_slot = 0) {
     if (bytes <= kInlineClosureBytes && align <= alignof(std::max_align_t)) {
       closure_ = inline_buf_;
+    } else if (arena != nullptr && bytes <= TaskArena::kClosureBlockBytes &&
+               align <= alignof(std::max_align_t)) {
+      closure_ = arena->closures.allocate(alloc_slot);
+      closure_pooled_ = true;
     } else if (align > alignof(std::max_align_t)) {
       closure_ = ::operator new(bytes, std::align_val_t{align});
       heap_closure_align_ = align;
@@ -99,7 +109,19 @@ class TaskNode {
 
   void add_ref() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
   void release() noexcept {
-    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (TaskArena* a = arena) {
+        // Pooled node: run the destructor in place (returning the closure
+        // block and the parent ref), then hand the memory back to whichever
+        // submitter slot owns it. The pool outlives every node (it is
+        // destroyed after the dependency tables that hold the last task
+        // refs), so `a` stays valid past `this`.
+        this->~TaskNode();
+        a->nodes.deallocate(this);
+      } else {
+        delete this;
+      }
+    }
   }
 
   // --- dependency bookkeeping ----------------------------------------------
@@ -187,6 +209,16 @@ class TaskNode {
   std::uint32_t type_id = 0;
   bool high_priority = false;
 
+  // --- pooled storage (nullptr arena = plain new/delete lifecycle) ----------
+
+  /// The arena this node's memory (and possibly its closure block) came
+  /// from; set by the runtime immediately after placement-construction.
+  /// Task identity across block reuse rests on `seq` (monotonic, never
+  /// recycled); `generation` additionally distinguishes tenancies of one
+  /// pool block (copied from the block header at allocation).
+  TaskArena* arena = nullptr;
+  std::uint32_t generation = 0;
+
  private:
   std::atomic<std::int32_t> refs_{1};
   SpinLock succ_lock_;
@@ -197,6 +229,7 @@ class TaskNode {
   const ClosureVTable* vtable_ = nullptr;
   void* closure_ = nullptr;
   std::size_t heap_closure_align_ = 0;
+  bool closure_pooled_ = false;
   alignas(std::max_align_t) unsigned char inline_buf_[kInlineClosureBytes];
 };
 

@@ -17,6 +17,10 @@ Config Config::from_env() {
   if (auto v = env_bool("SMPSS_NESTED")) c.nested_tasks = *v;
   if (auto v = env_int("SMPSS_DEP_SHARDS"); v && *v > 0)
     c.dep_shards = static_cast<unsigned>(*v);
+  if (auto v = env_int("SMPSS_CHAIN_DEPTH"); v && *v >= 0)
+    c.chain_depth = static_cast<unsigned>(*v);
+  if (auto v = env_int("SMPSS_POOL_CACHE"); v && *v >= 0)
+    c.pool_cache = static_cast<unsigned>(*v);
   if (auto v = env_string("SMPSS_SCHEDULER")) {
     if (*v == "centralized") c.scheduler_mode = SchedulerMode::Centralized;
     if (*v == "distributed") c.scheduler_mode = SchedulerMode::Distributed;

@@ -9,6 +9,8 @@
 //   SMPSS_RENAMING          0/1 — disable/enable renaming
 //   SMPSS_NESTED            0/1 — real nested tasks instead of inlining
 //   SMPSS_DEP_SHARDS        dependency-table shards (1 = global lock)
+//   SMPSS_CHAIN_DEPTH       max chained executions per acquire (0 = off)
+//   SMPSS_POOL_CACHE        task-pool blocks cached per worker (0 = malloc)
 //   SMPSS_SCHEDULER         distributed | centralized
 //   SMPSS_STEAL_ORDER       creation | random
 //   SMPSS_PIN_THREADS       0/1
@@ -58,6 +60,20 @@ struct Config {
   /// 0 = auto (64); values round up to a power of two; 1 reproduces the
   /// global-submission-lock behavior (the bench baseline).
   unsigned dep_shards = 0;
+
+  /// Immediate-successor chaining bound: when completing a task releases
+  /// exactly one successor (and no high-priority task is pending), the
+  /// worker runs it directly — no ready-list push/pop, no wakeup — up to
+  /// this many times per acquire before returning to the normal lookup
+  /// policy (which keeps stealing/high-priority latency bounded). 0 turns
+  /// chaining off and reproduces the paper's pure list-driven dispatch.
+  unsigned chain_depth = 16;
+
+  /// Per-submitter-slot cache size (in blocks) of the pooled TaskNode /
+  /// closure allocator; also its refill batch size. 0 disables pooling and
+  /// puts plain new/delete back on the spawn/retire path (the microbench
+  /// baseline).
+  unsigned pool_cache = 64;
 
   SchedulerMode scheduler_mode = SchedulerMode::Distributed;
   StealOrder steal_order = StealOrder::CreationOrder;

@@ -15,6 +15,12 @@ Runtime::Runtime(Config cfg)
         return cfg;
       }()),
       main_thread_id_(std::this_thread::get_id()),
+      arena_(cfg_.pool_cache > 0
+                 ? std::make_unique<TaskArena>(sizeof(TaskNode),
+                                               alignof(TaskNode),
+                                               cfg_.num_threads,
+                                               cfg_.pool_cache)
+                 : nullptr),
       pool_(cfg_.rename_memory_limit),
       dep_(pool_, cfg_.renaming, cfg_.dep_shards, &recorder_),
       regions_(&recorder_),
@@ -177,6 +183,15 @@ unsigned Runtime::submitter_tid() const noexcept {
   return kForeignTid;
 }
 
+TaskNode* Runtime::allocate_task(unsigned alloc_slot) {
+  if (!arena_) return new TaskNode();
+  void* mem = arena_->nodes.allocate(alloc_slot);
+  TaskNode* t = ::new (mem) TaskNode();
+  t->arena = arena_.get();
+  t->generation = arena_->nodes.generation_of(mem);
+  return t;
+}
+
 void Runtime::submit(TaskNode* t) {
   spawned_.fetch_add(1, std::memory_order_relaxed);
   tasks_live_.fetch_add(1, std::memory_order_relaxed);
@@ -306,7 +321,22 @@ TaskNode* Runtime::acquire(unsigned tid) {
 bool Runtime::in_task_context() noexcept { return detail::tls.in_task_body; }
 
 void Runtime::execute_task(TaskNode* t, unsigned tid) {
+  // The chain loop: run the acquired task, then keep running the single
+  // successor each completion releases — up to chain_depth hops — before
+  // returning to the Sec. III lookup policy. Iterative on purpose: a long
+  // dependency chain must not grow the stack.
+  for (unsigned hops = 0;; ++hops) {
+    TaskNode* next = execute_one(t, tid, /*arrived_by_chain=*/hops > 0,
+                                 /*allow_chain=*/hops < cfg_.chain_depth);
+    if (next == nullptr) return;
+    t = next;
+  }
+}
+
+TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
+                               bool arrived_by_chain, bool allow_chain) {
   WorkerState& ws = worker_state_[tid];
+  if (arrived_by_chain) ++ws.counters.chained;
 
   std::uint64_t t0 = 0;
   if (tracer_.enabled()) t0 = now_ns();
@@ -330,16 +360,57 @@ void Runtime::execute_task(TaskNode* t, unsigned tid) {
     std::uint64_t t1 = now_ns();
     ws.counters.task_ns += t1 - t0;
     tracer_.record(tid, TraceEvent{t->seq, t->parent ? t->parent->seq : 0,
-                                   t->type_id, tid, t0, t1});
+                                   t->type_id, tid, t0, t1,
+                                   arrived_by_chain ? 1u : 0u});
   }
 
   // Publish produced versions before releasing successors.
   for (Version* v : t->produces) v->mark_produced();
 
   auto successors = t->take_successors_and_complete();
+  SmallVector<TaskNode*, 8> released;
   for (TaskNode* s : successors) {
     if (s->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      released.push_back(s);
+  }
+
+  TaskNode* chain = nullptr;
+  if (released.size() == 1) {
+    // Exactly one successor released, and it would land in this worker's
+    // own list: run it directly after the retire below — no ready-list
+    // round trip, no wakeup. A pending high-priority task preempts the
+    // chain (Sec. III: "scheduled as soon as possible"): the successor is
+    // enqueued normally and the caller's next acquire serves the high list
+    // first. A high-priority *successor* is exempt from that preemption
+    // check (running it immediately is the soonest possible dispatch) but
+    // still subject to the chain_depth bound — past it, the high-priority
+    // acquire path picks it up on the very next lookup.
+    TaskNode* s = released[0];
+    if (allow_chain && (s->high_priority || !ready_.high_pending())) {
+      chain = s;
+    } else {
       enqueue_ready(s, tid, /*at_creation=*/false);
+    }
+  } else if (released.size() > 1) {
+    // Batched release: publish every released task with one list operation
+    // per destination and at most one gate notification for the whole set,
+    // instead of a push + notify per successor.
+    SmallVector<TaskNode*, 8> normal;
+    for (TaskNode* s : released) {
+      if (s->high_priority)
+        ready_.push_high(s);
+      else
+        normal.push_back(s);
+    }
+    ready_.push_local_batch(tid, normal.begin(), normal.size());
+    // This worker consumes one of the batch itself on its next acquire;
+    // the rest are worth at most one wakeup each — and none at all when
+    // every wakeable worker is already running (no registered sleeper).
+    const int want = static_cast<int>(released.size()) - 1;
+    const int issued = gate_.notify_some(want);
+    ws.counters.wakeups_suppressed.add(static_cast<std::uint64_t>(
+        want - issued));
+    ++ws.counters.batched_releases;
   }
 
   // Retire data tokens: reader marks first (so WAR decisions see the truth),
@@ -362,13 +433,17 @@ void Runtime::execute_task(TaskNode* t, unsigned tid) {
 
   // Wake sleepers at the two thresholds they block on: zero (barrier /
   // outside-task taskwait) and the task-window low-water mark (a throttled
-  // main thread in help_once, or a gated foreign submitter).
+  // main thread in help_once, or a gated foreign submitter). These stay
+  // unconditional — they guard liveness, not latency — and they run per
+  // retire even mid-chain, so a throttled submitter never waits on a chain
+  // to finish before seeing the window drain.
   const std::size_t live_before =
       tasks_live_.fetch_sub(1, std::memory_order_acq_rel);
   if (live_before == 1 || live_before == cfg_.task_window_low + 1) {
     gate_.notify_all();
   }
   t->release();
+  return chain;
 }
 
 void Runtime::help_once() {
@@ -525,6 +600,17 @@ StatsSnapshot Runtime::stats() const {
     s.acquired_main += w.acquired_main.get();
     s.idle_sleeps += w.idle_sleeps.get();
     s.task_ns += w.task_ns.get();
+    s.chained_executions += w.chained.get();
+    s.batched_releases += w.batched_releases.get();
+    s.wakeups_suppressed += w.wakeups_suppressed.get();
+  }
+
+  if (arena_) {
+    const PoolStats n = arena_->nodes.stats();
+    const PoolStats c = arena_->closures.stats();
+    s.pool_hits = n.hits + c.hits;
+    s.pool_refills = n.refills + c.refills;
+    s.pool_slabs = n.slabs + c.slabs;
   }
   return s;
 }

@@ -48,6 +48,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/slab_pool.hpp"
 #include "dep/dependency_analyzer.hpp"
 #include "dep/region_analyzer.hpp"
 #include "dep/renaming.hpp"
@@ -112,12 +113,15 @@ class Runtime {
       return;
     }
     SMPSS_CHECK(type.id < types_.size(), "unregistered task type");
-    auto* t = new TaskNode();
+    // Pool slot of the submitting thread; kForeignTid (>= num_threads)
+    // routes foreign submitters to the pool's internal lock-guarded slot.
+    const unsigned alloc_slot = submitter_tid();
+    TaskNode* t = allocate_task(alloc_slot);
     t->type_id = type.id;
     t->high_priority = types_[type.id].high_priority;
 
     using C = detail::Closure<std::decay_t<F>, std::decay_t<Ps>...>;
-    void* mem = t->allocate_closure(sizeof(C), alignof(C));
+    void* mem = t->allocate_closure(sizeof(C), alignof(C), alloc_slot);
     C* closure = ::new (mem)
         C{std::forward<F>(fn), std::tuple<std::decay_t<Ps>...>(
                                    std::forward<Ps>(ps)...)};
@@ -257,9 +261,24 @@ class Runtime {
   static constexpr unsigned kForeignTid = ~0u;
   unsigned submitter_tid() const noexcept;
 
+  /// Construct a TaskNode — placement-new on a pooled block (steady state:
+  /// no malloc) or plain new when pooling is disabled.
+  TaskNode* allocate_task(unsigned alloc_slot);
+
   void enqueue_ready(TaskNode* t, unsigned tid, bool at_creation);
   TaskNode* acquire(unsigned tid);
+
+  /// Run `t`, then keep running immediate successors (Config::chain_depth)
+  /// as the completions release them — each retire is still complete and in
+  /// order (data tokens, parent notification, live count + threshold
+  /// wakeups) before the next body starts.
   void execute_task(TaskNode* t, unsigned tid);
+
+  /// One body + full retire. Returns the task to chain into (the single
+  /// successor this completion released, when `allow_chain` and no pending
+  /// high-priority task preempts it), or nullptr to return to the lists.
+  TaskNode* execute_one(TaskNode* t, unsigned tid, bool arrived_by_chain,
+                        bool allow_chain);
 
   /// Run one task on the main thread, or briefly sleep if none is ready.
   void help_once();
@@ -268,6 +287,11 @@ class Runtime {
 
   Config cfg_;
   std::thread::id main_thread_id_;
+  /// Pooled TaskNode/closure storage. Declared before (so destroyed after)
+  /// the analyzers and the rename pool: their destructors release the last
+  /// version-held task references, which recycle nodes into this arena.
+  /// Null when Config::pool_cache == 0 (plain new/delete lifecycle).
+  std::unique_ptr<TaskArena> arena_;
   RenamePool pool_;
   GraphRecorder recorder_;
   DependencyAnalyzer dep_;

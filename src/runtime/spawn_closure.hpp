@@ -1,6 +1,12 @@
 // Type-erased task closures. One concrete Closure<F, Ps...> instantiation
 // per (task function, parameter-wrapper signature) pair; the vtable gives
 // TaskNode a uniform two-pointer handle on it.
+//
+// Storage tiers (see TaskNode::allocate_closure): closures up to
+// TaskNode::kInlineClosureBytes live inside the node itself; larger ones up
+// to TaskArena::kClosureBlockBytes come from the runtime's pooled closure
+// slabs (recycled at retire, no malloc in steady state); only outsized or
+// over-aligned captures fall back to operator new.
 #pragma once
 
 #include <cstddef>

@@ -4,38 +4,12 @@
 // asserted via renames > 0, locality via steal ratios).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "common/cache.hpp"
+#include "common/counters.hpp"
 
 namespace smpss {
-
-/// Single-writer statistics cell: updated by exactly one worker with a
-/// relaxed load+store pair (a plain add in machine code — no RMW needed
-/// because there is only one writer), read by concurrent stats() snapshots
-/// without formal data races.
-class Counter64 {
- public:
-  void add(std::uint64_t d) noexcept {
-    v_.store(v_.load(std::memory_order_relaxed) + d,
-             std::memory_order_relaxed);
-  }
-  Counter64& operator+=(std::uint64_t d) noexcept {
-    add(d);
-    return *this;
-  }
-  Counter64& operator++() noexcept {
-    add(1);
-    return *this;
-  }
-  std::uint64_t get() const noexcept {
-    return v_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> v_{0};
-};
 
 /// Written by exactly one worker; padded to avoid false sharing.
 struct alignas(kCacheLineSize) WorkerCounters {
@@ -47,6 +21,16 @@ struct alignas(kCacheLineSize) WorkerCounters {
   Counter64 acquired_main;
   Counter64 idle_sleeps;
   Counter64 task_ns;  ///< accumulated body time (tracing only)
+  /// Tasks this worker ran by chaining directly out of a completion (the
+  /// single released successor bypassed the ready lists entirely).
+  Counter64 chained;
+  /// Completions that released >= 2 successors and enqueued them with one
+  /// ready-list batch operation + at most one wakeup.
+  Counter64 batched_releases;
+  /// Wakeups the batched-release path did not issue because every wakeable
+  /// worker was already running (gate had no sleepers), or because one
+  /// wakeup covered several released tasks.
+  Counter64 wakeups_suppressed;
 };
 
 /// Aggregate view returned by Runtime::stats().
@@ -93,6 +77,16 @@ struct StatsSnapshot {
   std::uint64_t acquired_main = 0;
   std::uint64_t idle_sleeps = 0;
   std::uint64_t task_ns = 0;
+
+  // retire fast path (summed over workers; see Config::chain_depth)
+  std::uint64_t chained_executions = 0;
+  std::uint64_t batched_releases = 0;
+  std::uint64_t wakeups_suppressed = 0;
+
+  // pooled task/closure allocator (zero everywhere when pool_cache == 0)
+  std::uint64_t pool_hits = 0;     ///< node+closure allocs served from lists
+  std::uint64_t pool_refills = 0;  ///< batched trips to the overflow list
+  std::uint64_t pool_slabs = 0;    ///< slab mallocs (the only real allocs)
 };
 
 }  // namespace smpss

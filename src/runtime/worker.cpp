@@ -19,6 +19,11 @@ void worker_main(Runtime& rt, unsigned tid) {
   Backoff backoff;
   while (!rt.shutdown_.load(std::memory_order_acquire)) {
     if (TaskNode* t = rt.acquire(tid)) {
+      // One acquire may run a whole bounded chain of tasks: execute_task
+      // follows single released successors directly (Config::chain_depth)
+      // before coming back here to the Sec. III lookup policy — which is
+      // what bounds how long this worker can ignore the high-priority list
+      // and the steal victims.
       rt.execute_task(t, tid);
       failures = 0;
       backoff.reset();

@@ -51,6 +51,25 @@ class ChaseLevDeque {
     bottom_.store(b + 1, std::memory_order_release);
   }
 
+  /// Owner-only: push `n` tasks at the bottom with a single publication —
+  /// all slots are written first, then one release store of bottom makes
+  /// the whole batch visible to thieves at once (the batched-release path
+  /// of a multi-successor completion).
+  void push_bottom_batch(T* const* items, std::size_t n) {
+    if (n == 0) return;
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    while (b + static_cast<std::int64_t>(n) - t >
+           static_cast<std::int64_t>(a->capacity)) {
+      a = grow(a, t, b);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      a->put(b + static_cast<std::int64_t>(i), items[i]);
+    bottom_.store(b + static_cast<std::int64_t>(n),
+                  std::memory_order_release);
+  }
+
   /// Owner-only: pop the most recently pushed task (LIFO). nullptr if empty.
   T* pop_bottom() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;

@@ -67,6 +67,32 @@ class IdleGate {
     }
   }
 
+  /// Producer, batched: `want` new tasks became runnable at once (the
+  /// batched-release path of a completion). Issues min(want, sleepers)
+  /// wakeups behind a single epoch bump and returns how many it issued.
+  ///
+  /// When no sleeper is registered this returns 0 without even bumping the
+  /// epoch — every wakeable worker is already running, so there is nobody
+  /// the bump could inform. The one race this admits (a worker between its
+  /// final acquire attempt and its sleeper registration misses the new
+  /// work) is bounded by the sleep timeout every waiter passes: the worker
+  /// re-polls within one timeout instead of hanging. That trade — a rare
+  /// sub-millisecond oversleep for no seq_cst RMW on the busy path — is the
+  /// point of the suppression.
+  int notify_some(int want) noexcept {
+    if (want <= 0) return 0;
+    const int s = sleepers_.load(std::memory_order_seq_cst);
+    if (s == 0) return 0;
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    { std::lock_guard<std::mutex> lk(mu_); }
+    if (want >= s) {
+      cv_.notify_all();
+      return s;
+    }
+    for (int i = 0; i < want; ++i) cv_.notify_one();
+    return want;
+  }
+
   int sleepers() const noexcept {
     return sleepers_.load(std::memory_order_relaxed);
   }

@@ -39,6 +39,22 @@ class IntrusiveMpmcFifo {
     lock_.unlock();
   }
 
+  /// Append `n` items in order with one lock acquisition (batched release).
+  void push_back_batch(T* const* items, std::size_t n) noexcept {
+    if (n == 0) return;
+    for (std::size_t i = 0; i + 1 < n; ++i) items[i]->queue_next = items[i + 1];
+    items[n - 1]->queue_next = nullptr;
+    lock_.lock();
+    if (tail_) {
+      tail_->queue_next = items[0];
+    } else {
+      head_ = items[0];
+    }
+    tail_ = items[n - 1];
+    size_.fetch_add(n, std::memory_order_relaxed);
+    lock_.unlock();
+  }
+
   T* pop_front() noexcept {
     // Fast-path reject without taking the lock; size_ is monotonic enough
     // for this (a false empty is re-checked by the scheduler loop).

@@ -81,6 +81,22 @@ class ReadyLists {
     }
   }
 
+  /// Batched form of push_local: a completion that released several tasks at
+  /// once publishes them with one list operation (a single bottom store on
+  /// the owner's deque; one lock acquisition on the centralized FIFO).
+  void push_local_batch(unsigned tid, T* const* items, std::size_t n) {
+    if (mode_ == SchedulerMode::Distributed) {
+      local_[tid]->push_bottom_batch(items, n);
+    } else {
+      main_.push_back_batch(items, n);
+    }
+  }
+
+  /// Racy emptiness of the high-priority list. Chaining consults this: a
+  /// pending high-priority task must preempt a normal-priority chain, so a
+  /// completion never chains past it (see Runtime::execute_task).
+  bool high_pending() const noexcept { return !high_.empty_estimate(); }
+
   /// One full pass of the Sec. III lookup policy. `source` reports where the
   /// task came from (None on failure); `steal_attempts` counts victims
   /// probed.

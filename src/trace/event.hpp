@@ -14,6 +14,10 @@ struct TraceEvent {
   std::uint32_t worker;     ///< executing thread (0 = main)
   std::uint64_t start_ns;   ///< body start, steady-clock ns
   std::uint64_t end_ns;     ///< body end (after completion bookkeeping starts)
+  /// 1 when the worker reached this task by chaining directly out of the
+  /// previous completion (never through the ready lists — see
+  /// Config::chain_depth); 0 for a normal ready-list acquire.
+  std::uint32_t chained = 0;
 };
 
 }  // namespace smpss

@@ -10,14 +10,14 @@ namespace smpss {
 void export_timeline_csv(std::ostream& os, const std::vector<TraceEvent>& events,
                          const std::vector<TaskTypeInfo>& types,
                          std::uint64_t origin_ns) {
-  os << "worker,seq,type,start_us,end_us,parent\n";
+  os << "worker,seq,type,start_us,end_us,parent,chained\n";
   for (const TraceEvent& e : events) {
     const char* tname =
         e.type_id < types.size() ? types[e.type_id].name.c_str() : "?";
     os << e.worker << ',' << e.seq << ',' << tname << ','
        << static_cast<double>(e.start_ns - origin_ns) / 1e3 << ','
        << static_cast<double>(e.end_ns - origin_ns) / 1e3 << ','
-       << e.parent_seq << '\n';
+       << e.parent_seq << ',' << e.chained << '\n';
   }
 }
 

@@ -136,10 +136,12 @@ TEST(RegionDeps, SequencesOfMixedAccessesMatchOracle) {
   // Randomized 1-D region program vs sequential oracle.
   Xoshiro256 rng(77);
   constexpr long kLen = 64;
-  std::vector<int> par(kLen, 0), seq(kLen, 0);
+  // Unsigned cells: randomized multiply-accumulate writes wrap — defined
+  // for unsigned, and the oracle wraps identically (UBSan-clean).
+  std::vector<unsigned> par(kLen, 0), seq(kLen, 0);
   struct Op {
     long lo, hi;
-    int tag;
+    unsigned tag;
     bool write;
   };
   std::vector<Op> ops;
@@ -147,19 +149,20 @@ TEST(RegionDeps, SequencesOfMixedAccessesMatchOracle) {
     long a = static_cast<long>(rng.next_below(kLen));
     long b = static_cast<long>(rng.next_below(kLen));
     if (a > b) std::swap(a, b);
-    ops.push_back(Op{a, b, i + 1, rng.next_below(2) == 0});
+    ops.push_back(Op{a, b, static_cast<unsigned>(i + 1),
+                     rng.next_below(2) == 0});
   }
   {
     Runtime rt(threads(8));
     for (const Op& op : ops) {
       if (op.write) {
         rt.spawn(
-            [op](int* p) {
+            [op](unsigned* p) {
               for (long i = op.lo; i <= op.hi; ++i) p[i] = p[i] * 5 + op.tag;
             },
             inout(par.data(), Region{{Bound::closed(op.lo, op.hi)}}));
       } else {
-        rt.spawn([](const int* p) { (void)p[0]; },
+        rt.spawn([](const unsigned* p) { (void)p[0]; },
                  in(par.data(), Region{{Bound::closed(op.lo, op.hi)}}));
       }
     }
@@ -176,10 +179,11 @@ TEST(RegionDeps, Random2DProgramMatchesOracle) {
   // oracle — the 2-D analogue of SequencesOfMixedAccessesMatchOracle.
   Xoshiro256 rng(2025);
   constexpr int kDim = 24;
-  std::vector<int> par(kDim * kDim, 0), seq(kDim * kDim, 0);
+  // Unsigned cells for the same wrap-definedness reason as the 1-D test.
+  std::vector<unsigned> par(kDim * kDim, 0), seq(kDim * kDim, 0);
   struct Op {
     long r0, r1, c0, c1;
-    int tag;
+    unsigned tag;
     bool write;
   };
   std::vector<Op> ops;
@@ -192,7 +196,7 @@ TEST(RegionDeps, Random2DProgramMatchesOracle) {
     Op op;
     ivl(op.r0, op.r1);
     ivl(op.c0, op.c1);
-    op.tag = i + 1;
+    op.tag = static_cast<unsigned>(i + 1);
     op.write = rng.next_below(5) != 0;  // write-heavy
     ops.push_back(op);
   }
@@ -202,14 +206,14 @@ TEST(RegionDeps, Random2DProgramMatchesOracle) {
       Region r{{Bound::closed(op.r0, op.r1), Bound::closed(op.c0, op.c1)}};
       if (op.write) {
         rt.spawn(
-            [op](int* g) {
+            [op](unsigned* g) {
               for (long i = op.r0; i <= op.r1; ++i)
                 for (long j = op.c0; j <= op.c1; ++j)
                   g[i * kDim + j] = g[i * kDim + j] * 3 + op.tag;
             },
             inout(par.data(), r));
       } else {
-        rt.spawn([](const int* g) { (void)g[0]; }, in(par.data(), r));
+        rt.spawn([](const unsigned* g) { (void)g[0]; }, in(par.data(), r));
       }
     }
     rt.barrier();

@@ -56,8 +56,12 @@ TEST(SchedulerPolicy, ChainStaysOnOneWorkerMostly) {
         executor[static_cast<std::size_t>(i - 1)])
       ++migrations;
   EXPECT_LT(migrations, kLen / 2) << "chain bounced between workers";
+  // A chain step stays local two ways: popped from the finisher's own list
+  // (LIFO) or chained directly out of the completion without touching the
+  // lists at all (Config::chain_depth, the default retire fast path).
   auto s = rt.stats();
-  EXPECT_GT(s.acquired_own, static_cast<std::uint64_t>(kLen) / 3);
+  EXPECT_GT(s.acquired_own + s.chained_executions,
+            static_cast<std::uint64_t>(kLen) / 3);
 }
 
 TEST(SchedulerPolicy, IndependentWorkSpreadsAcrossWorkers) {
@@ -86,7 +90,10 @@ TEST(SchedulerPolicy, StealingKicksInOnImbalance) {
   Runtime rt(cfg);
   // One long chain (lives on one worker) releasing a burst of wide work at
   // each step: other workers can only get it by stealing from the chain
-  // owner's list.
+  // owner's list. The bursts are batched into the owner's deque in one
+  // publication (batched release), so each step must leave enough work on
+  // the table — for long enough — that sleeping workers (bounded 500us
+  // re-poll) reliably wake and steal even on a loaded CI host.
   long chain = 0;
   std::vector<long> lanes(64, 0);
   for (int step = 0; step < 30; ++step) {
@@ -94,22 +101,22 @@ TEST(SchedulerPolicy, StealingKicksInOnImbalance) {
     for (int w = 0; w < 64; ++w)
       rt.spawn(
           [](const long* c, long* lane) {
-            burn_cycles(5000, lane);
+            burn_cycles(20000, lane);
             (void)c;
           },
           in(&chain), inout(&lanes[w]));
   }
   rt.barrier();
   EXPECT_EQ(chain, 300000);
-  for (long v : lanes) EXPECT_EQ(v, 30 * 5000);
+  for (long v : lanes) EXPECT_EQ(v, 30 * 20000);
   EXPECT_GT(rt.stats().steals, 0u);
 }
 
-TEST(SchedulerPolicy, HighPriorityJumpsTheQueue) {
-  // Single worker thread, deliberately blocked by a long task while the
-  // main thread enqueues normal tasks and then a high-priority one; the
-  // high-priority task must run before the earlier-queued normal tasks.
-  Config cfg;
+/// Body of the jump-the-queue scenario, reused by the chain-depth sweep: a
+/// deliberately blocked worker, queued normal tasks, then an urgent one that
+/// must overtake most of them — chaining must never let a normal-priority
+/// chain starve the high-priority list.
+void run_high_priority_jump(Config cfg) {
   cfg.num_threads = 2;
   Runtime rt(cfg);
   TaskType urgent = rt.register_task_type("urgent", true);
@@ -154,7 +161,103 @@ TEST(SchedulerPolicy, HighPriorityJumpsTheQueue) {
   int beaten = 0;
   for (auto& r : normal_rank)
     if (urgent_rank.load() < r.load()) ++beaten;
-  EXPECT_GE(beaten, 5) << "high-priority task did not jump the queue";
+  EXPECT_GE(beaten, 5) << "high-priority task did not jump the queue "
+                       << "(chain_depth=" << cfg.chain_depth << ")";
+}
+
+TEST(SchedulerPolicy, HighPriorityJumpsTheQueue) {
+  run_high_priority_jump(Config{});  // default chain depth (bounded on)
+}
+
+/// Dependency-oracle program shared by the chain-depth sweep: a mixed graph
+/// (private chains, a shared reduction chain, and fan-out readers) whose
+/// final state is computed independently; any mis-ordered release — e.g. a
+/// chain running a successor before its last dependency really cleared, or
+/// a batched release dropping a task — corrupts the deterministic result.
+void run_dependency_oracle(Config cfg) {
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  // Unsigned lanes: 60 steps of *3 wrap — defined for unsigned, and the
+  // oracle wraps identically (the UBSan CI leg rejects the signed variant).
+  constexpr int kLanes = 8;
+  constexpr int kSteps = 60;
+  std::vector<unsigned long> lanes(kLanes, 0);
+  unsigned long total = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    for (int l = 0; l < kLanes; ++l)
+      rt.spawn(
+          [step](unsigned long* p) {
+            *p = *p * 3 + static_cast<unsigned>(step);
+          },
+          inout(&lanes[l]));
+    // Reduction over all lanes: a fan-in whose completion releases the next
+    // round's fan-out (multi-successor batched release).
+    for (int l = 0; l < kLanes; ++l)
+      rt.spawn([](const unsigned long* p, unsigned long* acc) {
+        *acc += *p % 7;
+      }, in(&lanes[l]), inout(&total));
+  }
+  rt.barrier();
+
+  // Sequential oracle.
+  std::vector<unsigned long> olanes(kLanes, 0);
+  unsigned long ototal = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    for (int l = 0; l < kLanes; ++l)
+      olanes[l] = olanes[l] * 3 + static_cast<unsigned>(step);
+    for (int l = 0; l < kLanes; ++l) ototal += olanes[l] % 7;
+  }
+  for (int l = 0; l < kLanes; ++l)
+    EXPECT_EQ(lanes[l], olanes[l]) << "lane " << l << " diverged from the "
+                                   << "oracle (chain_depth="
+                                   << cfg.chain_depth << ")";
+  EXPECT_EQ(total, ototal) << "reduction diverged from the oracle "
+                           << "(chain_depth=" << cfg.chain_depth << ")";
+
+  auto s = rt.stats();
+  EXPECT_EQ(s.tasks_executed, s.tasks_spawned);
+  if (cfg.chain_depth == 0)
+    EXPECT_EQ(s.chained_executions, 0u)
+        << "chain_depth=0 must reproduce the paper's pure list dispatch";
+}
+
+TEST(SchedulerPolicy, ChainDepthSweepHoldsDependencyOracle) {
+  for (unsigned depth : {0u, 1u, Config{}.chain_depth}) {
+    Config cfg;
+    cfg.chain_depth = depth;
+    run_dependency_oracle(cfg);
+  }
+}
+
+TEST(SchedulerPolicy, ChainDepthSweepHighPriorityStillJumps) {
+  for (unsigned depth : {0u, 1u, Config{}.chain_depth}) {
+    Config cfg;
+    cfg.chain_depth = depth;
+    run_high_priority_jump(cfg);
+  }
+}
+
+TEST(SchedulerPolicy, PureChainIsMostlyChainedExecutions) {
+  // A single long dependency chain with the default bounded chaining: most
+  // steps must ride the completion-side fast path, observable both in the
+  // stats and in the per-event trace flag.
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.tracing = true;
+  Runtime rt(cfg);
+  constexpr int kLen = 512;
+  long x = 0;
+  for (int i = 0; i < kLen; ++i)
+    rt.spawn([](long* p) { burn_cycles(2000, p); }, inout(&x));
+  rt.barrier();
+  EXPECT_EQ(x, static_cast<long>(kLen) * 2000);
+  auto s = rt.stats();
+  EXPECT_GT(s.chained_executions, static_cast<std::uint64_t>(kLen) / 4)
+      << "a pure chain should mostly bypass the ready lists";
+  std::uint64_t traced_chained = 0;
+  for (const auto& e : rt.tracer().collect()) traced_chained += e.chained;
+  EXPECT_EQ(traced_chained, s.chained_executions)
+      << "trace plumbing disagrees with the chained-execution counter";
 }
 
 TEST(SchedulerPolicy, CentralizedModeStillBalances) {

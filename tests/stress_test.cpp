@@ -104,15 +104,19 @@ TEST_P(SchedulerSweep, ContendedDagCorrect) {
   cfg.steal_order = order;
   cfg.nested_tasks = nested;
   Runtime rt(cfg);
+  // Unsigned lanes: 200 steps of *7 wrap many times over — defined for
+  // unsigned, and the oracle wraps identically (the UBSan CI leg rejects
+  // the signed variant).
   constexpr int kChains = 24, kLen = 200;
-  std::vector<long> chains(kChains, 0);
+  std::vector<unsigned long> chains(kChains, 0);
   for (int s = 0; s < kLen; ++s)
     for (int c = 0; c < kChains; ++c)
-      rt.spawn([s](long* p) { *p = *p * 7 + s; }, inout(&chains[c]));
+      rt.spawn([s](unsigned long* p) { *p = *p * 7 + static_cast<unsigned>(s); },
+               inout(&chains[c]));
   rt.barrier();
-  long expect = 0;
-  for (int s = 0; s < kLen; ++s) expect = expect * 7 + s;
-  for (long v : chains) ASSERT_EQ(v, expect);
+  unsigned long expect = 0;
+  for (int s = 0; s < kLen; ++s) expect = expect * 7 + static_cast<unsigned>(s);
+  for (unsigned long v : chains) ASSERT_EQ(v, expect);
 }
 
 TEST_P(SchedulerSweep, ConcurrentSubmissionHammer) {

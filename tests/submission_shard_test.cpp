@@ -55,23 +55,30 @@ TEST_P(ShardSweep, MultiParamTasksAcrossShardsStayAcyclic) {
   cfg.nested_tasks = true;
   cfg.dep_shards = GetParam();
   Runtime rt(cfg);
+  // Unsigned lanes: the values triple per round, so 40 rounds deliberately
+  // wrap — defined for unsigned, and the oracle wraps identically (the new
+  // UBSan CI leg rejects the signed variant).
   constexpr int kParents = 8, kRounds = 40;
-  std::vector<long> a(kParents, 1), b(kParents, 2), c(kParents, 0);
+  using lane_t = unsigned long;
+  std::vector<lane_t> a(kParents, 1), b(kParents, 2), c(kParents, 0);
   for (int p = 0; p < kParents; ++p) {
-    long *pa = &a[p], *pb = &b[p], *pc = &c[p];
+    lane_t *pa = &a[p], *pb = &b[p], *pc = &c[p];
     rt.spawn([&rt, pa, pb, pc] {
       for (int r = 0; r < kRounds; ++r) {
-        rt.spawn([](const long* x, const long* y, long* z) { *z = *x + *y; },
-                 in(pa), in(pb), out(pc));
-        rt.spawn([](const long* z, long* x) { *x += *z; }, in(pc), inout(pa));
-        rt.spawn([](const long* z, long* y) { *y += *z; }, in(pc), inout(pb));
+        rt.spawn(
+            [](const lane_t* x, const lane_t* y, lane_t* z) { *z = *x + *y; },
+            in(pa), in(pb), out(pc));
+        rt.spawn([](const lane_t* z, lane_t* x) { *x += *z; }, in(pc),
+                 inout(pa));
+        rt.spawn([](const lane_t* z, lane_t* y) { *y += *z; }, in(pc),
+                 inout(pb));
       }
       rt.taskwait();
     });
   }
   rt.barrier();
   for (int p = 0; p < kParents; ++p) {
-    long xa = 1, xb = 2, xc = 0;
+    lane_t xa = 1, xb = 2, xc = 0;
     for (int r = 0; r < kRounds; ++r) {
       xc = xa + xb;
       xa += xc;

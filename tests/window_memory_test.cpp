@@ -95,15 +95,19 @@ TEST_P(WindowSweep, MixedDagCorrectUnderAnyWindow) {
   cfg.num_threads = 4;
   cfg.task_window = GetParam();
   Runtime rt(cfg);
+  // Unsigned lanes: 50 steps of *3 wrap — defined for unsigned, and the
+  // oracle wraps identically (the UBSan CI leg rejects the signed variant).
   constexpr int kChains = 8, kLen = 50;
-  std::vector<long> chains(kChains, 0);
+  std::vector<unsigned long> chains(kChains, 0);
   for (int s = 0; s < kLen; ++s)
     for (int c = 0; c < kChains; ++c)
-      rt.spawn([s](long* p) { *p = *p * 3 + s; }, inout(&chains[c]));
+      rt.spawn(
+          [s](unsigned long* p) { *p = *p * 3 + static_cast<unsigned>(s); },
+          inout(&chains[c]));
   rt.barrier();
-  long expect = 0;
-  for (int s = 0; s < kLen; ++s) expect = expect * 3 + s;
-  for (long v : chains) EXPECT_EQ(v, expect);
+  unsigned long expect = 0;
+  for (int s = 0; s < kLen; ++s) expect = expect * 3 + static_cast<unsigned>(s);
+  for (unsigned long v : chains) EXPECT_EQ(v, expect);
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
