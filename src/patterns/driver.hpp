@@ -1,0 +1,108 @@
+// Lowers generated dependency patterns onto the runtimes under test.
+//
+// Two lowerings onto the SMPSs spawn API:
+//
+//   * Address mode — every cell is its own datum: task (t, p) spawns with
+//     one `in()` per input cell and `out()` on its produced cell (or a
+//     single `inout()` for the in-place chain pattern). Exercises the
+//     address-keyed DependencyAnalyzer, renaming, and the version chains.
+//     Bounded by kMaxAddressFanIn input cells per task (spawn arity is
+//     compile-time); wide fan-in patterns use region mode instead.
+//
+//   * Region mode — every row is one array and each dependence interval is
+//     an `in(base, Region{lo..hi})` parameter, the write an
+//     `out(base, Region{p:1})`. Exercises the RegionAnalyzer, whose
+//     interval-overlap conflicts handle arbitrary fan-in (all_to_all reads
+//     a whole row with a single parameter).
+//
+// Two submission shapes:
+//
+//   * Flat — the paper-faithful model: the main thread submits every task
+//     in (t, p) order and the analyzer alone reconstructs the graph.
+//   * NestedSteps — one generator task per timestep, serialized by an
+//     inout sentinel token; each step task submits its row's point tasks
+//     from whatever worker runs it (optionally taskwait()ing them), so
+//     submission, analysis, and retirement of adjacent steps overlap across
+//     threads. Requires Config::nested_tasks.
+//
+// Plus dependency-free baselines (fork-join, OMP3-style task pool) running
+// the same pattern with a barrier per timestep — the comparison curves of
+// bench/task_bench.cpp — and the intended-edge enumeration the
+// GraphRecorder fidelity tests diff the recorded graph against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "patterns/oracle.hpp"
+#include "runtime/config.hpp"
+#include "runtime/stats.hpp"
+
+namespace smpss {
+class Runtime;
+}
+
+namespace smpss::patterns {
+
+enum class LowerMode : std::uint8_t { Address, Region };
+const char* to_string(LowerMode m) noexcept;
+
+enum class SubmitShape : std::uint8_t { Flat, NestedSteps };
+const char* to_string(SubmitShape s) noexcept;
+
+/// Address-mode spawn arity ceiling (input cells per task). Patterns whose
+/// max_fan_in exceeds it must run in region mode.
+inline constexpr long kMaxAddressFanIn = 8;
+
+inline bool address_mode_ok(const PatternSpec& spec) {
+  return spec.max_fan_in() <= kMaxAddressFanIn;
+}
+
+struct RunOptions {
+  Config cfg;
+  LowerMode mode = LowerMode::Address;
+  SubmitShape shape = SubmitShape::Flat;
+  int nfields = 0;          ///< image rows; 0 = default_fields(spec)
+  bool join_steps = false;  ///< NestedSteps: taskwait() before a step ends
+
+  /// One-line description for failure messages / replay logs.
+  std::string describe() const;
+};
+
+/// Submit every task of `spec` over `img` (no barrier — the caller owns the
+/// Runtime and synchronizes/inspects it). `sentinel` must point at a cell
+/// that outlives the barrier when shape == NestedSteps; unused otherwise.
+void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
+                    LowerMode mode, SubmitShape shape = SubmitShape::Flat,
+                    bool join_steps = false, Cell* sentinel = nullptr);
+
+struct RunResult {
+  PatternImage image;
+  StatsSnapshot stats;
+};
+
+/// Build the image, run the pattern to completion on a fresh Runtime, and
+/// return the final image (compare to run_oracle) plus the run's stats.
+RunResult run_pattern(const PatternSpec& spec, const RunOptions& opt);
+
+/// The same pattern on the dependency-free baselines: one spawn per point,
+/// one join per timestep (the program supplies the synchronization the
+/// dependency analysis would have discovered).
+PatternImage run_taskpool_baseline(const PatternSpec& spec, int nfields,
+                                   unsigned nthreads);
+PatternImage run_forkjoin_baseline(const PatternSpec& spec, int nfields,
+                                   unsigned nthreads);
+
+// --- graph fidelity -----------------------------------------------------------
+
+/// Every intended true-dependency edge (producer seq -> consumer seq) under
+/// Flat submission — seqs are 1-based in (t, p) submission order, matching
+/// GraphRecorder::NodeRec::seq — sorted; duplicates preserved (spread's
+/// modular stride can name one producer twice, which submits two analyzer
+/// accesses).
+std::vector<std::pair<std::uint64_t, std::uint64_t>> intended_true_edges(
+    const PatternSpec& spec);
+
+}  // namespace smpss::patterns

@@ -1,0 +1,61 @@
+#include "patterns/kernel.hpp"
+
+namespace smpss::patterns {
+
+const char* to_string(KernelKind k) noexcept {
+  switch (k) {
+    case KernelKind::Empty: return "empty";
+    case KernelKind::Compute: return "compute";
+    case KernelKind::Memory: return "memory";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t kernel_seed(long t, long p) noexcept {
+  return mix64(0x6B65726E656C73ull /* "kernels" */,
+               (static_cast<std::uint64_t>(t) << 32) ^
+                   static_cast<std::uint64_t>(p));
+}
+
+std::uint64_t compute_kernel(std::uint32_t iterations, long t,
+                             long p) noexcept {
+  std::uint64_t x = kernel_seed(t, p);
+  for (std::uint32_t i = 0; i < iterations; ++i) x = mix64(x, i);
+  return x;
+}
+
+std::uint64_t memory_kernel(std::uint32_t sweeps, long t, long p) noexcept {
+  // One L1-sized scratch line per invocation, lives on the stack so the
+  // kernel stays allocation-free and trivially thread-safe. Each sweep is a
+  // serial read-modify-write pass (every element depends on the previous),
+  // so the compiler cannot collapse the traffic.
+  constexpr std::size_t kWords = 4096 / sizeof(std::uint64_t);
+  std::uint64_t scratch[kWords];
+  std::uint64_t x = kernel_seed(t, p);
+  for (std::size_t i = 0; i < kWords; ++i) {
+    x = mix64(x, i);
+    scratch[i] = x;
+  }
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < kWords; ++i) {
+      x = mix64(x, scratch[i]);
+      scratch[i] = x;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t run_kernel(const KernelSpec& k, long t, long p) noexcept {
+  switch (k.kind) {
+    case KernelKind::Empty: return 0;
+    case KernelKind::Compute: return compute_kernel(k.iterations, t, p);
+    case KernelKind::Memory: return memory_kernel(k.iterations, t, p);
+  }
+  return 0;
+}
+
+}  // namespace smpss::patterns

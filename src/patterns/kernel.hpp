@@ -1,0 +1,43 @@
+// Tunable per-task busywork kernels for the dependency-pattern engine
+// (task-bench's "kernel" axis): the same dependency graph can be run with
+// empty bodies (pure runtime-overhead measurement), a compute-bound body, or
+// a memory-bound body, scaling task grain independently of graph shape.
+//
+// Every kernel is a pure function of (spec, timestep, point): it returns a
+// deterministic value that the pattern driver folds into the produced cell,
+// so the differential oracle proves not only that dependencies were honored
+// but that every body actually ran with its intended inputs.
+#pragma once
+
+#include <cstdint>
+
+namespace smpss::patterns {
+
+/// The one mixing function every layer of the pattern engine shares (oracle,
+/// drivers, kernels, initial-image seeding). A change here invalidates all
+/// checksums everywhere at once, which is exactly the property a
+/// differential harness needs.
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  return h ^ (h >> 33);
+}
+
+enum class KernelKind : std::uint8_t {
+  Empty,    ///< no busywork: measures pure runtime overhead
+  Compute,  ///< `iterations` rounds of register-only integer mixing
+  Memory,   ///< `iterations` read-modify-write sweeps over a 4 KiB scratch
+};
+
+const char* to_string(KernelKind k) noexcept;
+
+struct KernelSpec {
+  KernelKind kind = KernelKind::Empty;
+  std::uint32_t iterations = 0;  ///< grain: mixing rounds / scratch sweeps
+};
+
+/// Run the busywork and return its deterministic result. Thread-safe and
+/// allocation-free (the memory kernel sweeps a stack scratch buffer).
+std::uint64_t run_kernel(const KernelSpec& k, long t, long p) noexcept;
+
+}  // namespace smpss::patterns

@@ -1,0 +1,59 @@
+#include "patterns/oracle.hpp"
+
+#include "common/check.hpp"
+
+namespace smpss::patterns {
+
+int min_fields(const PatternSpec& spec) noexcept {
+  return spec.kind == PatternKind::Chain ? 1 : 2;
+}
+
+int default_fields(const PatternSpec& spec) noexcept {
+  return min_fields(spec);
+}
+
+PatternImage make_initial_image(const PatternSpec& spec, int nfields) {
+  spec.validate();
+  SMPSS_CHECK(nfields >= min_fields(spec),
+              "pattern image needs >= 2 rows (1 for chain): a step must "
+              "never read a row another point of the same step writes");
+  PatternImage img;
+  img.nfields = nfields;
+  img.width = spec.width;
+  img.cells.resize(static_cast<std::size_t>(nfields) *
+                   static_cast<std::size_t>(spec.width));
+  for (long f = 0; f < nfields; ++f)
+    for (long p = 0; p < spec.width; ++p)
+      img.at(f, p) = mix64(spec.seed ^ 0x696D616765303030ull /* "image000" */,
+                           (static_cast<std::uint64_t>(f) << 32) ^
+                               static_cast<std::uint64_t>(p));
+  return img;
+}
+
+PatternImage run_oracle(const PatternSpec& spec, int nfields) {
+  PatternImage img = make_initial_image(spec, nfields);
+  Interval iv[kMaxIntervals];
+  for (long t = 0; t < spec.steps; ++t) {
+    const long src = t > 0 ? (t - 1) % nfields : 0;
+    const long dst = t % nfields;
+    for (long p = 0; p < spec.width_at(t); ++p) {
+      const std::size_t n = spec.dependencies(t, p, iv);
+      std::uint64_t h = value_seed(spec, t, p);
+      // Fold inputs before writing: with nfields == 1 (chains) the read and
+      // the write alias the same cell, exactly as the inout lowering sees.
+      for (std::size_t k = 0; k < n; ++k)
+        for (long q = iv[k].lo; q <= iv[k].hi; ++q)
+          h = value_fold(h, img.at(src, q));
+      img.at(dst, p) = value_finish(spec, h, t, p);
+    }
+  }
+  return img;
+}
+
+std::uint64_t image_checksum(const PatternImage& img) noexcept {
+  std::uint64_t h = 0x636865636B73756Dull;  // "checksum"
+  for (const Cell& c : img.cells) h = mix64(h, c);
+  return h;
+}
+
+}  // namespace smpss::patterns

@@ -1,0 +1,88 @@
+// The deterministic sequential oracle of the pattern engine, and the shared
+// per-cell value algebra every execution mode folds with.
+//
+// The memory model mirrors task-bench's rotating buffers: a pattern runs
+// over an image of `nfields` rows of `width` cells; timestep t writes row
+// (t % nfields) and reads row ((t-1) % nfields). With nfields == 2 every
+// write collides with the two-steps-older version of its cell — a WAW — and
+// with the previous step's readers — WARs — which is exactly the hazard
+// stream the renaming machinery exists to absorb (and, with renaming
+// disabled, the anti/output edge paths must serialize). The *dataflow* is
+// independent of nfields, so one oracle checks every buffering choice.
+//
+// cell(t, p) = finish(fold(...fold(seed(t,p), in_0)..., in_k))
+// where the in_i are the dependence cells in the generator's canonical
+// interval order and finish mixes in the busywork kernel's result. Any
+// missed or phantom dependency, any lost rename copy, any torn cell shows
+// up as a checksum mismatch against the oracle image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+
+namespace smpss::patterns {
+
+using Cell = std::uint64_t;
+
+/// A rotating-row cell image: `nfields` rows of `width` cells.
+struct PatternImage {
+  std::int32_t nfields = 0;
+  std::int32_t width = 0;
+  std::vector<Cell> cells;
+
+  Cell& at(long f, long p) {
+    return cells[static_cast<std::size_t>(f) *
+                     static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(p)];
+  }
+  const Cell& at(long f, long p) const {
+    return cells[static_cast<std::size_t>(f) *
+                     static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(p)];
+  }
+  Cell* row(long f) { return &at(f, 0); }
+  const Cell* row(long f) const { return &at(f, 0); }
+
+  bool operator==(const PatternImage&) const = default;
+};
+
+/// Rows a spec needs at minimum: chains touch a single row in place
+/// (read-modify-write); everything else must double-buffer so a step never
+/// reads the row it writes.
+int min_fields(const PatternSpec& spec) noexcept;
+
+/// Default row count for a spec (min_fields; the sweeps may raise it, e.g.
+/// to `steps` for a reuse-free image).
+int default_fields(const PatternSpec& spec) noexcept;
+
+/// The seeded pre-execution image every execution mode starts from.
+PatternImage make_initial_image(const PatternSpec& spec, int nfields);
+
+/// Run the whole pattern sequentially; the returned image is the ground
+/// truth the differential harness compares every runtime configuration to.
+PatternImage run_oracle(const PatternSpec& spec, int nfields);
+
+/// Order-sensitive digest of an image (bench sanity + failure messages).
+std::uint64_t image_checksum(const PatternImage& img) noexcept;
+
+// --- the shared value algebra -------------------------------------------------
+
+inline std::uint64_t value_seed(const PatternSpec& s, long t,
+                                long p) noexcept {
+  return mix64(s.seed ^ 0x7061747465726E73ull /* "patterns" */,
+               (static_cast<std::uint64_t>(t) << 32) ^
+                   static_cast<std::uint64_t>(p));
+}
+
+inline std::uint64_t value_fold(std::uint64_t h, Cell in) noexcept {
+  return mix64(h, in);
+}
+
+inline std::uint64_t value_finish(const PatternSpec& s, std::uint64_t h,
+                                  long t, long p) noexcept {
+  return mix64(h, run_kernel(s.kernel, t, p));
+}
+
+}  // namespace smpss::patterns

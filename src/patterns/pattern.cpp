@@ -1,0 +1,198 @@
+#include "patterns/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace smpss::patterns {
+
+const char* to_string(PatternKind k) noexcept {
+  switch (k) {
+    case PatternKind::Trivial: return "trivial";
+    case PatternKind::Chain: return "chain";
+    case PatternKind::Stencil1D: return "stencil_1d";
+    case PatternKind::Stencil1DPeriodic: return "stencil_1d_periodic";
+    case PatternKind::Fft: return "fft";
+    case PatternKind::Tree: return "tree";
+    case PatternKind::RandomNearest: return "random_nearest";
+    case PatternKind::AllToAll: return "all_to_all";
+    case PatternKind::Spread: return "spread";
+  }
+  return "?";
+}
+
+const std::array<PatternKind, kPatternKindCount>&
+all_pattern_kinds() noexcept {
+  static const std::array<PatternKind, kPatternKindCount> kinds = {
+      PatternKind::Trivial,        PatternKind::Chain,
+      PatternKind::Stencil1D,      PatternKind::Stencil1DPeriodic,
+      PatternKind::Fft,            PatternKind::Tree,
+      PatternKind::RandomNearest,  PatternKind::AllToAll,
+      PatternKind::Spread,
+  };
+  return kinds;
+}
+
+namespace {
+
+long ceil_log2(long n) noexcept {
+  long stages = 0;
+  while ((1L << stages) < n) ++stages;
+  return stages;
+}
+
+/// Seeded inclusion decision for random_nearest: a pure hash of
+/// (seed, dependence set, consumer point, candidate point), biased to
+/// `fraction_ppm` parts per million. Integer-only so every platform and
+/// every execution mode draws the same graph.
+bool random_edge(const PatternSpec& s, long dset, long p, long q) noexcept {
+  std::uint64_t h = mix64(s.seed ^ 0x72616E646F6D6E65ull /* "randomne" */,
+                          static_cast<std::uint64_t>(dset));
+  h = mix64(h, static_cast<std::uint64_t>(p));
+  h = mix64(h, static_cast<std::uint64_t>(q));
+  return h % 1000000u < s.fraction_ppm;
+}
+
+}  // namespace
+
+long PatternSpec::width_at(long t) const noexcept {
+  if (kind == PatternKind::Tree)
+    return std::min<long>(width, 1L << std::min<long>(t, 30));
+  return width;
+}
+
+std::size_t PatternSpec::dependencies(long t, long p,
+                                      Interval out[kMaxIntervals]) const
+    noexcept {
+  if (t <= 0) return 0;
+  const long w = width;
+  // The dependence-set rotation of spread/random_nearest: the pattern
+  // repeats with period `period`, so short runs still cover several
+  // distinct neighbor sets (task-bench's dependence sets).
+  const long dset = (t - 1) % period;
+  switch (kind) {
+    case PatternKind::Trivial:
+      return 0;
+    case PatternKind::Chain:
+      out[0] = {static_cast<std::int32_t>(p), static_cast<std::int32_t>(p)};
+      return 1;
+    case PatternKind::Stencil1D:
+      out[0] = {static_cast<std::int32_t>(std::max<long>(0, p - 1)),
+                static_cast<std::int32_t>(std::min<long>(p + 1, w - 1))};
+      return 1;
+    case PatternKind::Stencil1DPeriodic: {
+      std::size_t n = 0;
+      out[n++] = {static_cast<std::int32_t>(std::max<long>(0, p - 1)),
+                  static_cast<std::int32_t>(std::min<long>(p + 1, w - 1))};
+      if (p - 1 < 0 && w > 1)  // wrap to the right edge
+        out[n++] = {static_cast<std::int32_t>(w - 1),
+                    static_cast<std::int32_t>(w - 1)};
+      if (p + 1 >= w && w > 1)  // wrap to the left edge
+        out[n++] = {0, 0};
+      return n;
+    }
+    case PatternKind::Fft: {
+      const long stages = std::max<long>(1, ceil_log2(w));
+      const long d = 1L << ((t - 1) % stages);
+      std::size_t n = 0;
+      if (p - d >= 0)
+        out[n++] = {static_cast<std::int32_t>(p - d),
+                    static_cast<std::int32_t>(p - d)};
+      out[n++] = {static_cast<std::int32_t>(p), static_cast<std::int32_t>(p)};
+      if (p + d < w)
+        out[n++] = {static_cast<std::int32_t>(p + d),
+                    static_cast<std::int32_t>(p + d)};
+      return n;
+    }
+    case PatternKind::Tree: {
+      // Point p of a doubling row descends from p/2, which always lies
+      // inside the previous row (width_at(t) <= 2 * width_at(t-1)).
+      const long parent = p / 2;
+      out[0] = {static_cast<std::int32_t>(parent),
+                static_cast<std::int32_t>(parent)};
+      return 1;
+    }
+    case PatternKind::RandomNearest: {
+      // A p-centered window of `radix` candidates; each candidate is kept
+      // by a seeded coin flip except p itself, which is always kept so the
+      // graph never degenerates to trivial.
+      const long first = std::max<long>(0, p - radix / 2);
+      const long last = std::min<long>(p + (radix - 1) / 2, w - 1);
+      std::size_t n = 0;
+      long run_start = -1;
+      for (long q = first; q <= last + 1; ++q) {
+        const bool keep =
+            q <= last && (q == p || random_edge(*this, dset, p, q));
+        if (keep && run_start < 0) run_start = q;
+        if (!keep && run_start >= 0) {
+          out[n++] = {static_cast<std::int32_t>(run_start),
+                      static_cast<std::int32_t>(q - 1)};
+          run_start = -1;
+        }
+      }
+      return n;
+    }
+    case PatternKind::AllToAll:
+      out[0] = {0, static_cast<std::int32_t>(w - 1)};
+      return 1;
+    case PatternKind::Spread:
+      // `radix` producers strided width/radix apart, rotated by the
+      // dependence set; the modulo can collide points for small widths and
+      // that duplication is deliberately preserved (see the header).
+      for (long i = 0; i < radix; ++i) {
+        const long q =
+            (p + i * (w / radix) + (i > 0 ? dset : 0)) % w;
+        out[static_cast<std::size_t>(i)] = {static_cast<std::int32_t>(q),
+                                            static_cast<std::int32_t>(q)};
+      }
+      return static_cast<std::size_t>(radix);
+  }
+  return 0;
+}
+
+long PatternSpec::fan_in_cells(long t, long p) const noexcept {
+  Interval iv[kMaxIntervals];
+  const std::size_t n = dependencies(t, p, iv);
+  long cells = 0;
+  for (std::size_t i = 0; i < n; ++i) cells += iv[i].cells();
+  return cells;
+}
+
+long PatternSpec::max_fan_in() const noexcept {
+  long m = 0;
+  for (long t = 1; t < steps; ++t)
+    for (long p = 0; p < width_at(t); ++p)
+      m = std::max(m, fan_in_cells(t, p));
+  return m;
+}
+
+std::uint64_t PatternSpec::total_tasks() const noexcept {
+  std::uint64_t n = 0;
+  for (long t = 0; t < steps; ++t)
+    n += static_cast<std::uint64_t>(width_at(t));
+  return n;
+}
+
+void PatternSpec::validate() const {
+  SMPSS_CHECK(width >= 1, "pattern width must be >= 1");
+  SMPSS_CHECK(steps >= 1, "pattern steps must be >= 1");
+  SMPSS_CHECK(radix >= 1 && static_cast<std::size_t>(radix) <= kMaxIntervals,
+              "pattern radix must be in [1, 8]");
+  SMPSS_CHECK(period >= 1, "pattern period must be >= 1");
+  SMPSS_CHECK(fraction_ppm <= 1000000u,
+              "pattern fraction_ppm must be <= 1000000");
+  if (kind == PatternKind::Spread)
+    SMPSS_CHECK(radix <= width, "spread radix must be <= width");
+}
+
+std::string PatternSpec::describe() const {
+  std::ostringstream os;
+  os << "pattern=" << to_string(kind) << " width=" << width
+     << " steps=" << steps << " radix=" << radix << " period=" << period
+     << " fraction=" << fraction_ppm << " seed=" << seed
+     << " kernel=" << to_string(kernel.kind) << "/" << kernel.iterations;
+  return os.str();
+}
+
+}  // namespace smpss::patterns

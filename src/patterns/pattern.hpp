@@ -1,0 +1,109 @@
+// Task-bench-style dependency-pattern generator.
+//
+// The paper's evaluation exercises the runtime with five hand-written
+// applications; this module generates whole *families* of dependency graphs
+// instead (following Slaughter et al.'s task-bench parameterization): a
+// pattern is a grid of tasks, `width` points wide by `steps` timesteps deep,
+// where task (t, p) consumes cells produced at timestep t-1 and produces the
+// cell at (t, p). The dependence kind decides which cells of the previous
+// timestep feed each point:
+//
+//   trivial             no dependencies at all (embarrassingly parallel)
+//   chain               (t-1, p): width independent chains
+//   stencil_1d          (t-1, p-1..p+1), clamped at the edges
+//   stencil_1d_periodic same, wrapping around the row ends
+//   fft                 butterfly: (t-1, p), (t-1, p +- 2^stage)
+//   tree                binary fan-out: point p from parent p/2; the row
+//                       doubles every step until it reaches `width`
+//   random_nearest      a seeded random subset of a p-centered window of
+//                       `radix` cells (always including p)
+//   all_to_all          every point of the previous timestep
+//   spread              `radix` cells strided width/radix apart, rotated by
+//                       the timestep's dependence set
+//
+// Dependencies are reported as ordered, inclusive intervals over the
+// previous row — the natural currency of both the per-cell (address-mode)
+// lowering and the array-region lowering in patterns/driver.hpp. Everything
+// is a pure function of the spec, so generator, oracle, drivers, and the
+// graph-fidelity tests all agree on the intended edge set by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "patterns/kernel.hpp"
+
+namespace smpss::patterns {
+
+enum class PatternKind : std::uint8_t {
+  Trivial,
+  Chain,
+  Stencil1D,
+  Stencil1DPeriodic,
+  Fft,
+  Tree,
+  RandomNearest,
+  AllToAll,
+  Spread,
+};
+
+inline constexpr std::size_t kPatternKindCount = 9;
+
+const char* to_string(PatternKind k) noexcept;
+
+/// Every kind, in declaration order — the sweep axis of the conformance
+/// harness and the bench.
+const std::array<PatternKind, kPatternKindCount>& all_pattern_kinds() noexcept;
+
+/// Inclusive interval of points on the previous timestep's row.
+struct Interval {
+  std::int32_t lo = 0;
+  std::int32_t hi = -1;
+  long cells() const noexcept { return hi - lo + 1; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// Upper bound on intervals per task across all kinds (periodic stencil and
+/// fft need 3; spread and random_nearest need `radix`, capped below).
+inline constexpr std::size_t kMaxIntervals = 8;
+
+struct PatternSpec {
+  PatternKind kind = PatternKind::Trivial;
+  std::int32_t width = 8;   ///< points per timestep (max width for tree)
+  std::int32_t steps = 8;   ///< timesteps
+  std::int32_t radix = 3;   ///< fan-in knob of random_nearest/spread (<= 8)
+  std::int32_t period = 3;  ///< dependence-set rotation of spread/random_nearest
+  std::uint32_t fraction_ppm = 500000;  ///< random_nearest edge probability
+  std::uint64_t seed = 1;   ///< seeds random_nearest and the initial image
+  KernelSpec kernel;        ///< per-task busywork grain
+
+  /// Points live at timestep `t` (tree grows 1, 2, 4, ... up to width).
+  long width_at(long t) const noexcept;
+
+  /// Dependence intervals of task (t, p) over row t-1, in a canonical order
+  /// (the order input cells are folded into the produced value). Empty for
+  /// t == 0. Returns the interval count (<= kMaxIntervals). Intervals may
+  /// repeat a point (spread's modular stride can collide); consumers must
+  /// preserve duplicates so the checksum and the edge multiset stay exact.
+  std::size_t dependencies(long t, long p,
+                           Interval out[kMaxIntervals]) const noexcept;
+
+  /// Input cells of task (t, p) — the intervals' total cell count.
+  long fan_in_cells(long t, long p) const noexcept;
+
+  /// Max fan_in_cells over the whole graph (decides address-mode viability).
+  long max_fan_in() const noexcept;
+
+  std::uint64_t total_tasks() const noexcept;
+
+  /// Abort (SMPSS_CHECK) on out-of-range parameters.
+  void validate() const;
+
+  /// One-line human/replay description, e.g.
+  /// "pattern=fft width=8 steps=10 radix=3 period=3 fraction=500000
+  ///  seed=42 kernel=compute/64".
+  std::string describe() const;
+};
+
+}  // namespace smpss::patterns

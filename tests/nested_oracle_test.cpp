@@ -19,13 +19,19 @@
 // sibling subtrees own disjoint slot ranges (their interleaved submissions
 // are independent), and a node only touches slots its children own before
 // spawning them or after taskwait()ing them.
+//
+// Replay: set SMPSS_TEST_SEED=<n> to run exactly that seed through every
+// program shape (instead of the full seed ranges); failures print the seed,
+// the program shape, and a ready-to-paste replay command line.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "runtime/runtime.hpp"
+#include "seed_util.hpp"
 
 namespace smpss {
 namespace {
@@ -207,6 +213,17 @@ struct ProgramShape {
   bool renaming = true;  ///< false: WAR/WAW become graph edges (ablation)
 };
 
+/// Failure context: the failing seed, the full program shape, and a replay
+/// command (SMPSS_TEST_SEED runs just this seed through every shape).
+std::string failure_context(std::uint64_t seed, const ProgramShape& shape) {
+  std::ostringstream os;
+  os << "seed=" << seed << " nslots=" << shape.nslots
+     << " depth=" << shape.depth << " threads=" << shape.threads
+     << " renaming=" << shape.renaming << "\n  "
+     << smpss::testing::replay_command("nested_oracle_test", "*", seed);
+  return os.str();
+}
+
 void check_seed(std::uint64_t seed, const ProgramShape& shape) {
   Xoshiro256 rng(seed);
   Node root = random_node(rng, 0, shape.nslots, shape.depth);
@@ -222,7 +239,8 @@ void check_seed(std::uint64_t seed, const ProgramShape& shape) {
     Runtime rt(cfg);
     flat_walk(rt, root, cells);
     rt.barrier();
-    ASSERT_EQ(cells, expect) << "flat mode diverged, seed=" << seed;
+    ASSERT_EQ(cells, expect) << "flat mode diverged, "
+                             << failure_context(seed, shape);
   }
   {  // nested tree, nested mode on
     std::vector<Cell> cells = initial_image(shape.nslots);
@@ -233,7 +251,8 @@ void check_seed(std::uint64_t seed, const ProgramShape& shape) {
     Runtime rt(cfg);
     spawn_node(rt, root, cells);
     rt.barrier();
-    ASSERT_EQ(cells, expect) << "nested mode diverged, seed=" << seed;
+    ASSERT_EQ(cells, expect) << "nested mode diverged, "
+                             << failure_context(seed, shape);
   }
   {  // nested tree program, inline demotion (Sec. VII.D)
     std::vector<Cell> cells = initial_image(shape.nslots);
@@ -243,39 +262,51 @@ void check_seed(std::uint64_t seed, const ProgramShape& shape) {
     Runtime rt(cfg);
     spawn_node(rt, root, cells);
     rt.barrier();
-    ASSERT_EQ(cells, expect) << "inline-demoted mode diverged, seed=" << seed;
+    ASSERT_EQ(cells, expect) << "inline-demoted mode diverged, "
+                             << failure_context(seed, shape);
   }
+}
+
+/// Seed loop honoring the SMPSS_TEST_SEED single-seed replay override.
+template <typename Check>
+void for_each_seed(std::uint64_t first, std::uint64_t last, Check check) {
+  if (auto s = smpss::testing::seed_override()) {
+    check(*s);
+    return;
+  }
+  for (std::uint64_t seed = first; seed <= last; ++seed) check(seed);
 }
 
 // 200+ seeds across three program shapes (acceptance floor); each seed runs
 // all four execution modes.
 
 TEST(NestedOracle, SmallProgramsManySeeds) {
-  for (std::uint64_t seed = 1; seed <= 120; ++seed)
-    check_seed(seed, ProgramShape{16, 2, 4});
+  for_each_seed(1, 120,
+                [](std::uint64_t s) { check_seed(s, ProgramShape{16, 2, 4}); });
 }
 
 TEST(NestedOracle, MediumPrograms) {
-  for (std::uint64_t seed = 1000; seed < 1060; ++seed)
-    check_seed(seed, ProgramShape{48, 3, 4});
+  for_each_seed(1000, 1059,
+                [](std::uint64_t s) { check_seed(s, ProgramShape{48, 3, 4}); });
 }
 
 TEST(NestedOracle, DeepNarrowPrograms) {
-  for (std::uint64_t seed = 2000; seed < 2040; ++seed)
-    check_seed(seed, ProgramShape{64, 5, 8});
+  for_each_seed(2000, 2039,
+                [](std::uint64_t s) { check_seed(s, ProgramShape{64, 5, 8}); });
 }
 
 TEST(NestedOracle, SingleThreadStillCorrect) {
-  for (std::uint64_t seed = 3000; seed < 3010; ++seed)
-    check_seed(seed, ProgramShape{24, 3, 1});
+  for_each_seed(3000, 3009,
+                [](std::uint64_t s) { check_seed(s, ProgramShape{24, 3, 1}); });
 }
 
 TEST(NestedOracle, RenamingDisabledStillCorrect) {
   // The no-renaming ablation turns every WAR/WAW into graph edges; with
   // nesting those flow through the ancestor-exemption paths of
   // process_write (no Output/Anti edges against a running ancestor).
-  for (std::uint64_t seed = 4000; seed < 4040; ++seed)
-    check_seed(seed, ProgramShape{32, 3, 4, /*renaming=*/false});
+  for_each_seed(4000, 4039, [](std::uint64_t s) {
+    check_seed(s, ProgramShape{32, 3, 4, /*renaming=*/false});
+  });
 }
 
 }  // namespace

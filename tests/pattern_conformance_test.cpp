@@ -1,0 +1,319 @@
+// Differential conformance harness for the dependency-pattern engine.
+//
+// Every pattern family (trivial, chain, stencils, fft, tree, random_nearest,
+// all_to_all, spread) is lowered onto the runtime in both address mode and
+// region mode and swept through the runtime's configuration axes — nested
+// submission on/off (flat and per-step generator-task shapes), renaming
+// on/off, chain depth 0/1/default, pooling on/off, dependency shards 1/64,
+// small task windows, both schedulers — and the final memory image must be
+// bit-identical to the sequential oracle every time. Any missed or phantom
+// dependency, lost rename copy, or torn cell in any configuration shows up
+// as a checksum mismatch.
+//
+// The PatternFuzz suite additionally draws random (spec, config) pairs from
+// a seed stream under a time budget:
+//   SMPSS_TEST_SEED=N        replay exactly seed N (and nothing else)
+//   SMPSS_FUZZ_SEED_BASE=N   first seed of the stream (CI uses the run id)
+//   SMPSS_FUZZ_BUDGET_MS=N   time box (default 2000 ms)
+// Failures print the spec, the config, and a replay command line.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "patterns/driver.hpp"
+#include "seed_util.hpp"
+
+namespace smpss::patterns {
+namespace {
+
+Config base_config() {
+  Config cfg;
+  cfg.num_threads = 4;
+  return cfg;
+}
+
+struct Variant {
+  const char* name;
+  void (*tweak)(RunOptions&);
+};
+
+// One axis varied at a time off the 4-thread default, plus the combined
+// stress rows at the end. The NestedSteps rows move submission itself onto
+// the workers (concurrent submit/retire through the sharded pipeline).
+const Variant kSweep[] = {
+    {"default", [](RunOptions&) {}},
+    {"threads1", [](RunOptions& o) { o.cfg.num_threads = 1; }},
+    {"renaming_off", [](RunOptions& o) { o.cfg.renaming = false; }},
+    {"chain0", [](RunOptions& o) { o.cfg.chain_depth = 0; }},
+    {"chain1", [](RunOptions& o) { o.cfg.chain_depth = 1; }},
+    {"pool_off", [](RunOptions& o) { o.cfg.pool_cache = 0; }},
+    {"window16", [](RunOptions& o) { o.cfg.task_window = 16; }},
+    {"centralized",
+     [](RunOptions& o) { o.cfg.scheduler_mode = SchedulerMode::Centralized; }},
+    {"extra_field", [](RunOptions& o) { o.nfields = 3; }},
+    {"nested_flat_shards1",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_shards = 1;
+     }},
+    {"nested_flat_shards64",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_shards = 64;
+     }},
+    {"nested_steps",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.shape = SubmitShape::NestedSteps;
+     }},
+    {"nested_steps_join",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.shape = SubmitShape::NestedSteps;
+       o.join_steps = true;
+     }},
+    {"window4_norename",
+     [](RunOptions& o) {
+       o.cfg.task_window = 4;
+       o.cfg.renaming = false;
+     }},
+    {"nested_steps_window16_shards1",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.shape = SubmitShape::NestedSteps;
+       o.cfg.task_window = 16;
+       o.cfg.dep_shards = 1;
+     }},
+};
+
+::testing::AssertionResult images_equal(const PatternImage& got,
+                                        const PatternImage& want) {
+  if (got == want) return ::testing::AssertionSuccess();
+  for (long f = 0; f < want.nfields; ++f)
+    for (long p = 0; p < want.width; ++p)
+      if (got.at(f, p) != want.at(f, p)) {
+        std::ostringstream os;
+        os << "first mismatch at row " << f << " point " << p << ": got 0x"
+           << std::hex << got.at(f, p) << " want 0x" << want.at(f, p);
+        return ::testing::AssertionFailure() << os.str();
+      }
+  return ::testing::AssertionFailure() << "image shapes differ";
+}
+
+/// Run `spec` through the full sweep in every legal lowering mode, diffing
+/// against the sequential oracle (computed once per row count).
+void check_spec(const PatternSpec& spec) {
+  std::map<int, PatternImage> oracle;  // nfields -> ground truth
+  const auto expect_for = [&](int nf) -> const PatternImage& {
+    auto it = oracle.find(nf);
+    if (it == oracle.end()) it = oracle.emplace(nf, run_oracle(spec, nf)).first;
+    return it->second;
+  };
+  for (LowerMode mode : {LowerMode::Address, LowerMode::Region}) {
+    if (mode == LowerMode::Address && !address_mode_ok(spec)) continue;
+    for (const Variant& v : kSweep) {
+      RunOptions opt;
+      opt.cfg = base_config();
+      opt.mode = mode;
+      v.tweak(opt);
+      if (opt.nfields == 0) opt.nfields = default_fields(spec);
+      RunResult r = run_pattern(spec, opt);
+      const std::uint64_t expected_tasks =
+          spec.total_tasks() +
+          (opt.shape == SubmitShape::NestedSteps
+               ? static_cast<std::uint64_t>(spec.steps)
+               : 0);
+      ASSERT_TRUE(images_equal(r.image, expect_for(opt.nfields)))
+          << "variant=" << v.name << "\n  " << spec.describe() << "\n  "
+          << opt.describe();
+      EXPECT_EQ(r.stats.tasks_spawned, expected_tasks)
+          << "variant=" << v.name << " " << spec.describe();
+      EXPECT_EQ(r.stats.tasks_inlined, 0u)
+          << "variant=" << v.name << " " << spec.describe();
+    }
+  }
+}
+
+PatternSpec standard_spec(PatternKind kind) {
+  PatternSpec s;
+  s.kind = kind;
+  s.width = 8;
+  s.steps = 10;
+  s.radix = 3;
+  s.period = 3;
+  s.seed = 0xA11CE;
+  return s;
+}
+
+// --- the per-family sweeps (narrow enough for address mode too) ---------------
+
+TEST(PatternConformance, Trivial) {
+  check_spec(standard_spec(PatternKind::Trivial));
+}
+TEST(PatternConformance, Chain) {
+  check_spec(standard_spec(PatternKind::Chain));
+}
+TEST(PatternConformance, Stencil1D) {
+  check_spec(standard_spec(PatternKind::Stencil1D));
+}
+TEST(PatternConformance, Stencil1DPeriodic) {
+  check_spec(standard_spec(PatternKind::Stencil1DPeriodic));
+}
+TEST(PatternConformance, Fft) { check_spec(standard_spec(PatternKind::Fft)); }
+TEST(PatternConformance, Tree) {
+  PatternSpec s = standard_spec(PatternKind::Tree);
+  s.width = 16;  // 1, 2, 4, 8, 16, 16, ... — the growing-row path
+  check_spec(s);
+}
+TEST(PatternConformance, RandomNearest) {
+  check_spec(standard_spec(PatternKind::RandomNearest));
+}
+TEST(PatternConformance, AllToAll) {
+  // width 8 == kMaxAddressFanIn: the widest graph address mode can carry.
+  check_spec(standard_spec(PatternKind::AllToAll));
+}
+TEST(PatternConformance, Spread) {
+  check_spec(standard_spec(PatternKind::Spread));
+}
+
+// Fan-in wider than any spawn arity: the region-analyzer lowering is the
+// only legal one (check_spec skips address mode by itself).
+TEST(PatternConformance, WideFanInRegionOnly) {
+  PatternSpec a2a = standard_spec(PatternKind::AllToAll);
+  a2a.width = 24;
+  a2a.steps = 6;
+  ASSERT_FALSE(address_mode_ok(a2a));
+  check_spec(a2a);
+
+  PatternSpec spread = standard_spec(PatternKind::Spread);
+  spread.width = 24;
+  spread.steps = 8;
+  spread.radix = 6;
+  check_spec(spread);
+
+  PatternSpec rn = standard_spec(PatternKind::RandomNearest);
+  rn.width = 24;
+  rn.radix = 8;
+  rn.fraction_ppm = 900000;
+  check_spec(rn);
+}
+
+// Task grain must not perturb the dataflow: the busywork kernels fold a
+// deterministic result into every cell, so a body that skipped (or doubled)
+// its kernel diverges from the oracle.
+TEST(PatternConformance, KernelGrains) {
+  PatternSpec compute = standard_spec(PatternKind::Stencil1D);
+  compute.steps = 6;
+  compute.kernel = {KernelKind::Compute, 64};
+  check_spec(compute);
+
+  PatternSpec memory = standard_spec(PatternKind::Fft);
+  memory.steps = 6;
+  memory.kernel = {KernelKind::Memory, 2};
+  check_spec(memory);
+}
+
+// Baselines must agree with the oracle too — the bench's comparison curves
+// are only meaningful if every runtime computes the same answer.
+TEST(PatternConformance, BaselinesMatchOracle) {
+  for (PatternKind kind : all_pattern_kinds()) {
+    PatternSpec s = standard_spec(kind);
+    const int nf = default_fields(s);
+    const PatternImage expect = run_oracle(s, nf);
+    ASSERT_TRUE(images_equal(run_taskpool_baseline(s, nf, 4), expect))
+        << "taskpool diverged: " << s.describe();
+    ASSERT_TRUE(images_equal(run_forkjoin_baseline(s, nf, 4), expect))
+        << "forkjoin diverged: " << s.describe();
+  }
+}
+
+// --- randomized differential fuzzing -------------------------------------------
+
+PatternSpec random_spec(Xoshiro256& rng) {
+  PatternSpec s;
+  s.kind = all_pattern_kinds()[rng.next_below(kPatternKindCount)];
+  s.width = 2 + static_cast<std::int32_t>(rng.next_below(23));   // 2..24
+  s.steps = 2 + static_cast<std::int32_t>(rng.next_below(11));   // 2..12
+  s.radix = 1 + static_cast<std::int32_t>(rng.next_below(
+                    std::min<std::uint64_t>(8, s.width)));
+  s.period = 1 + static_cast<std::int32_t>(rng.next_below(4));
+  s.fraction_ppm = static_cast<std::uint32_t>(rng.next_below(1000001));
+  s.seed = rng.next();
+  switch (rng.next_below(3)) {
+    case 0: s.kernel = {KernelKind::Empty, 0}; break;
+    case 1:
+      s.kernel = {KernelKind::Compute,
+                  static_cast<std::uint32_t>(rng.next_below(65))};
+      break;
+    default:
+      s.kernel = {KernelKind::Memory,
+                  static_cast<std::uint32_t>(rng.next_below(3))};
+      break;
+  }
+  return s;
+}
+
+RunOptions random_options(Xoshiro256& rng, const PatternSpec& spec) {
+  RunOptions o;
+  o.cfg.num_threads = 1 + static_cast<unsigned>(rng.next_below(4));
+  o.cfg.renaming = rng.next_below(2) == 0;
+  o.cfg.chain_depth = std::array<unsigned, 3>{0, 1, 16}[rng.next_below(3)];
+  o.cfg.pool_cache = rng.next_below(2) ? 64u : 0u;
+  o.cfg.task_window = std::array<std::size_t, 3>{4, 16, 8192}[rng.next_below(3)];
+  o.cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
+  o.cfg.nested_tasks = rng.next_below(2) == 0;
+  if (o.cfg.nested_tasks && rng.next_below(2) == 0) {
+    o.shape = SubmitShape::NestedSteps;
+    o.join_steps = rng.next_below(2) == 0;
+  }
+  o.mode = (address_mode_ok(spec) && rng.next_below(2) == 0)
+               ? LowerMode::Address
+               : LowerMode::Region;
+  o.nfields =
+      min_fields(spec) + static_cast<int>(rng.next_below(2));  // min..min+1
+  return o;
+}
+
+void run_fuzz_seed(std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0xF0A77E57ull);
+  const PatternSpec spec = random_spec(rng);
+  const RunOptions opt = random_options(rng, spec);
+  const PatternImage expect = run_oracle(spec, opt.nfields);
+  const RunResult got = run_pattern(spec, opt);
+  ASSERT_TRUE(images_equal(got.image, expect))
+      << "fuzz seed=" << seed << "\n  " << spec.describe() << "\n  "
+      << opt.describe() << "\n  "
+      << smpss::testing::replay_command("pattern_conformance_test",
+                                        "PatternFuzz.*", seed);
+}
+
+TEST(PatternFuzz, TimeBoxedRandomSweep) {
+  if (auto s = smpss::testing::seed_override()) {
+    std::cout << "pattern-fuzz: replaying single seed " << *s << std::endl;
+    run_fuzz_seed(*s);
+    return;
+  }
+  const std::uint64_t base = static_cast<std::uint64_t>(
+      env_int("SMPSS_FUZZ_SEED_BASE").value_or(20260728));
+  const long long budget_ms = env_int("SMPSS_FUZZ_BUDGET_MS").value_or(2000);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  std::uint64_t seed = base;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_NO_FATAL_FAILURE(run_fuzz_seed(seed)) << "failing seed: " << seed;
+    ++seed;
+  }
+  // The CI fuzz leg greps this line into the step summary so the seed range
+  // a green run covered is recorded.
+  std::cout << "pattern-fuzz: " << (seed - base) << " seeds in [" << base
+            << ", " << (seed == base ? base : seed - 1)
+            << "], budget_ms=" << budget_ms << std::endl;
+}
+
+}  // namespace
+}  // namespace smpss::patterns

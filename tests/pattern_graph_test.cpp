@@ -1,0 +1,169 @@
+// GraphRecorder fidelity over generated pattern graphs: the recorded edge
+// set must match the generator's intended edge set exactly — a missed
+// dependency (an absent edge) or a phantom one (an extra edge) is a
+// dependency-analysis bug even when scheduling happens to produce the right
+// numbers.
+//
+// Exactness needs a deterministic recording window, so the exact-match
+// configurations submit the whole graph from the main thread with no
+// workers (num_threads = 1) and a window larger than the graph: no task
+// executes before the barrier, every producer is still live when its
+// consumers are analyzed, and the analyzers must therefore record every
+// intended true edge — no more, no less. The parallel configurations then
+// re-run with workers racing the submission (chain depth 0 and default):
+// there a producer may retire before its consumer is analyzed, so edges may
+// legally be *dropped*, but a phantom edge is still a bug — the recorded
+// set must be a subset of the intended one, and the image must still match
+// the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "patterns/driver.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::patterns {
+namespace {
+
+using Edge = std::pair<std::uint64_t, std::uint64_t>;
+
+std::vector<Edge> recorded_edges(const GraphRecorder& rec, EdgeKind kind) {
+  std::vector<Edge> out;
+  for (const GraphRecorder::EdgeRec& e : rec.edges())
+    if (e.kind == kind) out.emplace_back(e.from, e.to);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Edge> dedup(std::vector<Edge> v) {
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+PatternSpec standard_spec(PatternKind kind) {
+  PatternSpec s;
+  s.kind = kind;
+  s.width = kind == PatternKind::Tree ? 16 : 8;
+  s.steps = 8;
+  s.radix = 3;
+  s.period = 3;
+  s.seed = 0xF1DE;
+  return s;
+}
+
+void expect_nodes_complete(const GraphRecorder& rec, std::uint64_t total,
+                           const PatternSpec& spec) {
+  ASSERT_EQ(rec.nodes().size(), total) << spec.describe();
+  std::vector<std::uint64_t> seqs;
+  for (const GraphRecorder::NodeRec& n : rec.nodes()) seqs.push_back(n.seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::uint64_t i = 0; i < total; ++i)
+    ASSERT_EQ(seqs[i], i + 1) << "node seq gap or duplicate, "
+                              << spec.describe();
+}
+
+/// Deterministic-window run: every intended edge must be recorded exactly
+/// (as a multiset — spread's modular stride can intend one producer twice).
+void check_exact(const PatternSpec& spec, LowerMode mode, int nfields,
+                 bool renaming) {
+  Config cfg;
+  cfg.num_threads = 1;
+  cfg.task_window = 1u << 20;
+  cfg.record_graph = true;
+  cfg.renaming = renaming;
+  PatternImage img = make_initial_image(spec, nfields);
+  Runtime rt(cfg);
+  submit_pattern(rt, spec, img, mode);
+  rt.barrier();
+
+  const GraphRecorder& rec = rt.graph_recorder();
+  expect_nodes_complete(rec, spec.total_tasks(), spec);
+
+  const std::vector<Edge> want = intended_true_edges(spec);
+  const std::vector<Edge> got = recorded_edges(rec, EdgeKind::True);
+  EXPECT_EQ(got, want) << "true-edge multiset diverged: " << spec.describe()
+                       << " mode=" << to_string(mode)
+                       << " nfields=" << nfields << " renaming=" << renaming;
+  // These configurations have no write-after-read or write-after-write on
+  // any datum (renaming absorbs them, or each datum is written once), so an
+  // anti/output edge here is a phantom dependency.
+  EXPECT_TRUE(recorded_edges(rec, EdgeKind::Anti).empty()) << spec.describe();
+  EXPECT_TRUE(recorded_edges(rec, EdgeKind::Output).empty())
+      << spec.describe();
+
+  EXPECT_EQ(img, run_oracle(spec, nfields)) << spec.describe();
+}
+
+/// Workers race the submission: recorded edges may be dropped (producer
+/// already retired) but never invented.
+void check_no_phantoms(const PatternSpec& spec, unsigned chain_depth) {
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.record_graph = true;
+  cfg.chain_depth = chain_depth;
+  const int nfields = default_fields(spec);
+  PatternImage img = make_initial_image(spec, nfields);
+  Runtime rt(cfg);
+  submit_pattern(rt, spec, img, LowerMode::Address);
+  rt.barrier();
+
+  const GraphRecorder& rec = rt.graph_recorder();
+  expect_nodes_complete(rec, spec.total_tasks(), spec);
+
+  const std::vector<Edge> want = dedup(intended_true_edges(spec));
+  const std::vector<Edge> got = dedup(recorded_edges(rec, EdgeKind::True));
+  EXPECT_TRUE(
+      std::includes(want.begin(), want.end(), got.begin(), got.end()))
+      << "phantom true edge recorded: " << spec.describe()
+      << " chain_depth=" << chain_depth;
+
+  EXPECT_EQ(img, run_oracle(spec, nfields)) << spec.describe();
+}
+
+TEST(PatternGraphFidelity, AddressModeExactWithRenaming) {
+  // Rotating two-row buffering: renaming must absorb every WAR/WAW without
+  // inventing edges, and record exactly the dataflow (chain runs its inout
+  // in-place lowering here, nfields == 1).
+  for (PatternKind kind : all_pattern_kinds()) {
+    PatternSpec s = standard_spec(kind);
+    check_exact(s, LowerMode::Address, default_fields(s), /*renaming=*/true);
+  }
+}
+
+TEST(PatternGraphFidelity, AddressModeExactUniqueCellsNoRenaming) {
+  // One row per timestep: every cell is written exactly once, so even with
+  // renaming disabled the analyzer must find zero anti/output edges and the
+  // exact true-edge set.
+  for (PatternKind kind : all_pattern_kinds()) {
+    PatternSpec s = standard_spec(kind);
+    check_exact(s, LowerMode::Address, s.steps, /*renaming=*/false);
+  }
+}
+
+TEST(PatternGraphFidelity, RegionModeExact) {
+  // Region analyzer: each dependence interval is one region access; with a
+  // row per timestep the overlap scan must reconstruct exactly the
+  // generator's edges (all_to_all included — one interval, width edges).
+  for (PatternKind kind : all_pattern_kinds()) {
+    PatternSpec s = standard_spec(kind);
+    check_exact(s, LowerMode::Region, s.steps, /*renaming=*/true);
+  }
+  PatternSpec wide = standard_spec(PatternKind::AllToAll);
+  wide.width = 24;
+  wide.steps = 5;
+  check_exact(wide, LowerMode::Region, wide.steps, /*renaming=*/true);
+}
+
+TEST(PatternGraphFidelity, NoPhantomEdgesUnderParallelRetireAndChaining) {
+  for (PatternKind kind : all_pattern_kinds()) {
+    PatternSpec s = standard_spec(kind);
+    check_no_phantoms(s, /*chain_depth=*/0);
+    check_no_phantoms(s, /*chain_depth=*/Config{}.chain_depth);
+  }
+}
+
+}  // namespace
+}  // namespace smpss::patterns

@@ -1,0 +1,36 @@
+// Shared replay plumbing for the randomized suites.
+//
+// Every randomized harness in tests/ honors SMPSS_TEST_SEED: when set, the
+// suite runs exactly that seed (in every shape/configuration it sweeps)
+// instead of its full seed range, and every failure message carries a
+// ready-to-paste replay command line. The CI fuzz leg additionally drives
+// the conformance harness through SMPSS_FUZZ_SEED_BASE / _BUDGET_MS (see
+// tests/pattern_conformance_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/env.hpp"
+
+namespace smpss::testing {
+
+/// Single-seed replay override (SMPSS_TEST_SEED).
+inline std::optional<std::uint64_t> seed_override() {
+  if (auto v = env_int("SMPSS_TEST_SEED"); v && *v >= 0)
+    return static_cast<std::uint64_t>(*v);
+  return std::nullopt;
+}
+
+/// A copy-pasteable single-seed reproduction command for failure messages.
+inline std::string replay_command(const char* binary, const char* filter,
+                                  std::uint64_t seed) {
+  std::ostringstream os;
+  os << "replay: SMPSS_TEST_SEED=" << seed << " ./tests/" << binary
+     << " --gtest_filter='" << filter << "'";
+  return os.str();
+}
+
+}  // namespace smpss::testing
