@@ -84,12 +84,19 @@ void DependencyAnalyzer::add_edge(Shard& sh, TaskNode* pred, TaskNode* succ,
     case EdgeKind::Output: ++sh.counters.waw_edges; break;
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
+  // Per-stream accounting: edges are charged to the *successor* (the task
+  // whose submission discovered the dependence) — that is the stream whose
+  // traffic created the analyzer work.
+  if (succ->account)
+    succ->account->edges.fetch_add(1, std::memory_order_relaxed);
 }
 
 void* DependencyAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   SMPSS_ASSERT(!access.has_region);  // region accesses go to RegionAnalyzer
   Shard& sh = shard_for(access.addr);
   ++sh.counters.accesses;
+  if (task->account)
+    task->account->accesses.fetch_add(1, std::memory_order_relaxed);
   DataEntry& e = entry_for(sh, access.addr, access.bytes);
   switch (access.dir) {
     case Dir::In:
@@ -140,6 +147,7 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
 
   void* storage = nullptr;
   bool renamed = false;
+  SubmitterAccount* acct = nullptr;
 
   if (renaming_) {
     // Renaming configuration: never block on WAR/WAW — either reuse the old
@@ -160,12 +168,16 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
     if (!hazard) {
       storage = v->storage();
       renamed = v->renamed();
+      // In-place reuse moves buffer ownership — and with it the stream
+      // charge: the credit must go to whichever account paid for the bytes.
+      acct = v->account();
       v->disown_storage();  // ownership moves to the new version
       ++sh.counters.in_place_reuses;
       // In-place merge is free: tail bytes beyond `bytes` (if any) are
       // already sitting in this storage.
     } else {
-      storage = pool_.allocate(ext);
+      acct = task->account;
+      storage = pool_.allocate(ext, acct);
       renamed = true;
       // Bytes the new version must inherit from the predecessor: everything
       // for an inout (the body starts from the old value), the tail beyond
@@ -223,7 +235,7 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
     v->disown_storage();
   }
 
-  auto* v2 = new Version(&e, storage, ext, renamed, task);
+  auto* v2 = new Version(&e, storage, ext, renamed, task, acct);
   e.latest = v2;
   v->release(pool_);  // drop the superseded version's latest-token
   task->produces.push_back(v2);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dep/renaming.hpp"
+
 namespace smpss {
 
 void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
@@ -13,11 +15,17 @@ void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
     case EdgeKind::Output: ++counters_.waw_edges; break;
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
+  // Per-stream accounting mirrors the address-mode analyzer: the edge is
+  // charged to the submission that discovered it.
+  if (succ->account)
+    succ->account->edges.fetch_add(1, std::memory_order_relaxed);
 }
 
 void* RegionAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   SMPSS_ASSERT(access.has_region);
   ++counters_.accesses;
+  if (task->account)
+    task->account->accesses.fetch_add(1, std::memory_order_relaxed);
 
   auto [it, inserted] = arrays_.try_emplace(access.addr);
   ArrayEntry& e = it->second;

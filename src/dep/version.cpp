@@ -7,11 +7,12 @@
 namespace smpss {
 
 Version::Version(DataEntry* entry, void* storage, std::size_t bytes,
-                 bool renamed, TaskNode* producer)
+                 bool renamed, TaskNode* producer, SubmitterAccount* account)
     : entry_(entry),
       storage_(storage),
       bytes_(bytes),
       renamed_(renamed),
+      account_(account),
       producer_(producer),
       produced_(producer == nullptr),  // initial versions are already valid
       refs_(producer ? 2 : 1) {        // latest token (+ producer token)
@@ -25,7 +26,7 @@ Version::~Version() {
 
 void Version::release(RenamePool& pool) noexcept {
   if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    if (renamed_) pool.deallocate(storage_, bytes_);
+    if (renamed_) pool.deallocate(storage_, bytes_, account_);
     delete this;
   }
 }

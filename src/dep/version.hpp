@@ -26,14 +26,18 @@ namespace smpss {
 
 class RenamePool;
 struct DataEntry;
+struct SubmitterAccount;  // dep/renaming.hpp
 
 class Version {
  public:
   /// Creates a version holding the latest-token (refs=1) plus a producer
   /// token if `producer` is non-null (refs=2). Takes a strong ref on the
-  /// producer task.
+  /// producer task. `account` (nullable) is the submitter account the
+  /// renamed storage was charged to; the credit is issued when this version
+  /// frees the buffer — possibly long after the submitting stream drained,
+  /// which is why stream accounts are pinned for the runtime's life.
   Version(DataEntry* entry, void* storage, std::size_t bytes, bool renamed,
-          TaskNode* producer);
+          TaskNode* producer, SubmitterAccount* account = nullptr);
 
   Version(const Version&) = delete;
   Version& operator=(const Version&) = delete;
@@ -41,6 +45,7 @@ class Version {
   void* storage() const noexcept { return storage_; }
   std::size_t bytes() const noexcept { return bytes_; }
   bool renamed() const noexcept { return renamed_; }
+  SubmitterAccount* account() const noexcept { return account_; }
   DataEntry* entry() const noexcept { return entry_; }
   TaskNode* producer() const noexcept { return producer_; }
 
@@ -99,6 +104,7 @@ class Version {
   void* storage_;
   std::size_t bytes_;
   bool renamed_;
+  SubmitterAccount* account_;  // stream charged for renamed storage, or null
   TaskNode* producer_;  // strong ref; null for initial versions
   std::atomic<bool> produced_;
   std::atomic<int> readers_pending_{0};

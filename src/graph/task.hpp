@@ -26,7 +26,10 @@
 
 namespace smpss {
 
-class Version;  // dep/version.hpp
+class Version;            // dep/version.hpp
+struct SubmitterAccount;  // dep/renaming.hpp
+struct StreamState;       // runtime/stream.hpp
+class FutureState;        // runtime/stream.hpp
 
 /// Identifies a task *kind* (e.g. "sgemm_t"): used for scheduling priority,
 /// per-type statistics, and the Fig. 5 graph coloring.
@@ -208,6 +211,22 @@ class TaskNode {
   std::uint64_t seq = 0;           ///< invocation order, 1-based (Fig. 5)
   std::uint32_t type_id = 0;
   bool high_priority = false;
+
+  // --- service mode (only set for stream-submitted tasks) --------------------
+
+  /// The stream this task was admitted through; retire credits its live/
+  /// retired counters and latency histogram. Registry-pinned for the
+  /// runtime's life, so the pointer never dangles (see runtime/stream.hpp).
+  StreamState* stream = nullptr;
+  /// Completion future (task-side ref); fulfilled — and its callback run —
+  /// during retire, before the stream's live count drops.
+  FutureState* future = nullptr;
+  /// Account charged for analyzer traffic and renamed storage; null for
+  /// non-stream tasks (the global accounting alone applies).
+  SubmitterAccount* account = nullptr;
+  /// now_ns() at admission; retire records (now - submit_ns) into the
+  /// stream's latency histogram. 0 for non-stream tasks.
+  std::uint64_t submit_ns = 0;
 
   // --- pooled storage (nullptr arena = plain new/delete lifecycle) ----------
 

@@ -112,10 +112,12 @@ struct RegionChainBody {
 // --- arity dispatch -------------------------------------------------------------
 // rt.spawn's parameter list is compile-time; the generator's fan-in is a
 // runtime value. These switches instantiate one spawn per arity 0..8 and
-// route each task to the matching one.
+// route each task to the matching one. Templated over the sink: Runtime&
+// and StreamHandle& share the spawn(type, fn, params...) signature, so the
+// same lowering drives the batch engine and a service-mode stream.
 
-template <std::size_t N>
-void spawn_addr_n(Runtime& rt, TaskType tt, const AddrBody& body, Cell* dst,
+template <std::size_t N, typename RT>
+void spawn_addr_n(RT& rt, TaskType tt, const AddrBody& body, Cell* dst,
                   [[maybe_unused]] const std::array<const Cell*,
                                                     kMaxAddressFanIn>& ins) {
   [&]<std::size_t... Is>(std::index_sequence<Is...>) {
@@ -123,7 +125,8 @@ void spawn_addr_n(Runtime& rt, TaskType tt, const AddrBody& body, Cell* dst,
   }(std::make_index_sequence<N>{});
 }
 
-void spawn_addr(Runtime& rt, TaskType tt, const AddrBody& body, Cell* dst,
+template <typename RT>
+void spawn_addr(RT& rt, TaskType tt, const AddrBody& body, Cell* dst,
                 const std::array<const Cell*, kMaxAddressFanIn>& ins,
                 std::size_t n) {
   switch (n) {
@@ -143,8 +146,8 @@ void spawn_addr(Runtime& rt, TaskType tt, const AddrBody& body, Cell* dst,
   }
 }
 
-template <std::size_t N>
-void spawn_region_n(Runtime& rt, TaskType tt, const RegionBody& body,
+template <std::size_t N, typename RT>
+void spawn_region_n(RT& rt, TaskType tt, const RegionBody& body,
                     Cell* dst_row, [[maybe_unused]] const Cell* src_row) {
   [&]<std::size_t... Is>(std::index_sequence<Is...>) {
     rt.spawn(tt, body, out(dst_row, Region{span_from(body.p, 1)}),
@@ -152,7 +155,8 @@ void spawn_region_n(Runtime& rt, TaskType tt, const RegionBody& body,
   }(std::make_index_sequence<N>{});
 }
 
-void spawn_region(Runtime& rt, TaskType tt, const RegionBody& body,
+template <typename RT>
+void spawn_region(RT& rt, TaskType tt, const RegionBody& body,
                   Cell* dst_row, const Cell* src_row) {
   switch (body.niv) {
     case 0: spawn_region_n<0>(rt, tt, body, dst_row, src_row); break;
@@ -171,8 +175,10 @@ void spawn_region(Runtime& rt, TaskType tt, const RegionBody& body,
 // --- per-step submission ---------------------------------------------------------
 
 /// Spawn every point task of timestep `t`. Callable from the main thread
-/// (Flat) or from inside a step task (NestedSteps).
-void submit_step(Runtime& rt, TaskType tt, const PatternSpec& spec,
+/// (Flat), from inside a step task (NestedSteps), or with a StreamHandle
+/// sink (service mode).
+template <typename RT>
+void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
                  PatternImage& img, LowerMode mode, long t) {
   const long src_f = t > 0 ? (t - 1) % img.nfields : 0;
   const long dst_f = t % img.nfields;
@@ -255,6 +261,22 @@ void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
              },
              inout(sentinel));
   }
+}
+
+void submit_pattern_stream(StreamHandle& stream, TaskType point,
+                           const PatternSpec& spec, PatternImage& img,
+                           LowerMode mode) {
+  spec.validate();
+  SMPSS_CHECK(img.width == spec.width && img.nfields >= min_fields(spec),
+              "image does not match the pattern spec");
+  if (mode == LowerMode::Address)
+    SMPSS_CHECK(address_mode_ok(spec),
+                "pattern fan-in too wide for address mode — use region mode");
+  // Flat (t, p) order only: the point type is pre-registered by the caller
+  // (register_task_type requires zero live tasks, and other streams may
+  // already be in flight when this one starts submitting).
+  for (long t = 0; t < spec.steps; ++t)
+    submit_step(stream, point, spec, img, mode, t);
 }
 
 RunResult run_pattern(const PatternSpec& spec, const RunOptions& opt) {

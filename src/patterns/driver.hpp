@@ -42,6 +42,8 @@
 
 namespace smpss {
 class Runtime;
+class StreamHandle;
+struct TaskType;
 }
 
 namespace smpss::patterns {
@@ -77,6 +79,14 @@ struct RunOptions {
 void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
                     LowerMode mode, SubmitShape shape = SubmitShape::Flat,
                     bool join_steps = false, Cell* sentinel = nullptr);
+
+/// Service-mode lowering: submit every task of `spec` through `stream` in
+/// Flat (t, p) order. `point` must be pre-registered on the stream's
+/// runtime (register_task_type requires zero live tasks, and sibling
+/// streams may already be running). The caller drains/closes the stream.
+void submit_pattern_stream(StreamHandle& stream, TaskType point,
+                           const PatternSpec& spec, PatternImage& img,
+                           LowerMode mode);
 
 struct RunResult {
   PatternImage image;

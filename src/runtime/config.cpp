@@ -32,6 +32,11 @@ Config Config::from_env() {
   if (auto v = env_bool("SMPSS_PIN_THREADS")) c.pin_threads = *v;
   if (auto v = env_bool("SMPSS_TRACE")) c.tracing = *v;
   if (auto v = env_bool("SMPSS_RECORD_GRAPH")) c.record_graph = *v;
+  if (auto v = env_int("SMPSS_STREAMS"); v && *v > 0)
+    c.max_streams = static_cast<unsigned>(*v);
+  if (auto v = env_int("SMPSS_STATS_PERIOD_MS"); v && *v >= 0)
+    c.stats_period_ms = static_cast<unsigned>(*v);
+  if (auto v = env_string("SMPSS_STATS_FILE")) c.stats_path = *v;
   return c;
 }
 
@@ -43,6 +48,7 @@ void Config::normalize() {
     task_window_low = task_window / 2;
   if (dep_shards == 0) dep_shards = 64;
   if (spin_acquires == 0) spin_acquires = 1;
+  if (max_streams == 0) max_streams = 1;
 }
 
 }  // namespace smpss

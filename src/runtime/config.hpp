@@ -16,9 +16,13 @@
 //   SMPSS_PIN_THREADS       0/1
 //   SMPSS_TRACE             0/1 — record per-task timing events
 //   SMPSS_RECORD_GRAPH      0/1 — record nodes/edges for DOT export
+//   SMPSS_STREAMS           service-mode stream registry capacity
+//   SMPSS_STATS_PERIOD_MS   periodic JSON stats exporter period (0 = off)
+//   SMPSS_STATS_FILE        exporter destination ("" = stderr, appended)
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "sched/ready_lists.hpp"
 
@@ -89,6 +93,19 @@ struct Config {
 
   /// Failed acquire passes before a worker blocks on the idle gate.
   unsigned spin_acquires = 128;
+
+  /// Service-mode stream registry capacity. StreamStates are registry-pinned
+  /// for the Runtime's life (versions carry their rename accounts past
+  /// stream close), so this bounds open_stream() calls, not concurrency.
+  unsigned max_streams = 64;
+
+  /// Period of the JSON stats exporter thread (one line per period with
+  /// tasks/s, window occupancy, per-stream counters + latency percentiles).
+  /// 0 disables the thread entirely.
+  unsigned stats_period_ms = 0;
+
+  /// Exporter destination, opened in append mode. Empty = stderr.
+  std::string stats_path;
 
   /// Defaults overridden by SMPSS_* environment variables.
   static Config from_env();

@@ -37,10 +37,27 @@ Runtime::Runtime(Config cfg)
   threads_.reserve(cfg_.num_threads - 1);
   for (unsigned tid = 1; tid < cfg_.num_threads; ++tid)
     threads_.emplace_back([this, tid] { worker_main(*this, tid); });
+
+  if (cfg_.stats_period_ms > 0)
+    stats_thread_ = std::thread([this] { stats_exporter_main(); });
 }
 
 Runtime::~Runtime() {
+  // Stop the stats exporter first: it emits one final line (so short runs
+  // still export), and it must not call stats() while the members below are
+  // torn down.
+  if (stats_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_stop_ = true;
+    }
+    stats_cv_.notify_all();
+    stats_thread_.join();
+  }
   if (on_main_thread() && !in_task_context()) {
+    // Streams still open at destruction drain here; flipping them Closed
+    // means a buggy late submit is diagnosed, not lost.
+    shutdown_streams();
     barrier();
   } else {
     // Destruction off the constructing thread gets its own drain path
@@ -67,6 +84,9 @@ Runtime::~Runtime() {
     while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
     tc.rt = prev_rt;
     tc.tid = prev_tid;
+    // Every task retired above, so the per-stream drains are no-ops here —
+    // this just closes the phases (late submits diagnose, not vanish).
+    shutdown_streams();
     dep_.flush_all();
     regions_.flush_all();
   }
@@ -442,6 +462,16 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   if (live_before == 1 || live_before == cfg_.task_window_low + 1) {
     gate_.notify_all();
   }
+  // Service hook: fulfill the future (callback runs here) and credit the
+  // stream — after the data tokens retired (a callback may read the task's
+  // results) and after the global live decrement above, so drain()
+  // returning (the stream count reaching zero) implies every one of the
+  // stream's tasks has left the global count too.
+  if (t->stream != nullptr || t->future != nullptr) retire_service(t);
+  // A queued stream submitter may now fit: one relaxed load when service
+  // mode is idle, a notify per retire when someone is waiting (their probe
+  // needs the decrements above to be visible first).
+  if (admission_.has_waiters()) admission_.notify();
   t->release();
   return chain;
 }
@@ -552,65 +582,121 @@ void Runtime::wait_on_addr(const void* addr) {
 }
 
 StatsSnapshot Runtime::stats() const {
+  // Read-order discipline: spawned_ is incremented before the task can run
+  // (submit happens-before execution), so a snapshot that sums the
+  // execution-side counters FIRST and reads spawned_ LAST can never report
+  // executed > spawned — the transiently impossible totals the old
+  // read-everything-in-declaration-order snapshot produced under racing
+  // submitters. On top of that, retry until a pass sees spawned_ unchanged
+  // end to end (a quiescent-enough window); bounded attempts, because under
+  // a saturating submit rate no such window need exist.
   StatsSnapshot s;
-  s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
-  s.tasks_inlined = inlined_.load(std::memory_order_relaxed);
-  s.tasks_nested = nested_spawned_.load(std::memory_order_relaxed);
-  s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
-  s.nested_throttled = nested_throttled_.load(std::memory_order_relaxed);
-  s.foreign_throttled = foreign_throttled_.load(std::memory_order_relaxed);
-  s.ready_at_creation = ready_at_creation_.load(std::memory_order_relaxed);
-  s.barriers = barriers_;
-  s.main_blocked_on_window = blocked_window_;
-  s.main_blocked_on_memory = blocked_memory_;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    s = StatsSnapshot{};
+    const std::uint64_t epoch0 = spawned_.load(std::memory_order_seq_cst);
 
-  // The analyzer counters are plain fields guarded by the lock that guards
-  // their table: snapshot the dependency counters shard by shard and the
-  // region counters under the region rwlock (shared side) so a stats() call
-  // racing nested submitters stays well-defined. The single-submitter
-  // configuration skips the locks, as everywhere else.
-  const DependencyAnalyzer::Counters dc =
-      dep_.counters_snapshot(/*lock=*/cfg_.nested_tasks);
-  RegionAnalyzer::Counters rc;
-  {
-    std::shared_lock<std::shared_mutex> lk(region_mu_, std::defer_lock);
-    if (cfg_.nested_tasks) lk.lock();
-    rc = regions_.counters();
-  }
-  s.raw_edges = dc.raw_edges + rc.raw_edges;
-  s.war_edges = dc.war_edges + rc.war_edges;
-  s.waw_edges = dc.waw_edges + rc.waw_edges;
-  s.renames = pool_.rename_count();
-  s.rename_bytes_total = pool_.total_bytes();
-  s.rename_bytes_peak = pool_.peak_bytes();
-  s.in_place_reuses = dc.in_place_reuses;
-  s.copy_ins = dc.copy_ins;
-  s.copy_in_bytes = dc.copy_in_bytes;
-  s.copyback_bytes = dc.copyback_bytes;
-  s.tracked_objects = dc.tracked_objects;
-  s.region_accesses = rc.accesses;
+    for (unsigned i = 0; i < cfg_.num_threads; ++i) {
+      const WorkerCounters& w = worker_state_[i].counters;
+      s.tasks_executed += w.executed.get();
+      s.steals += w.steals.get();
+      s.steal_attempts += w.steal_attempts.get();
+      s.acquired_high += w.acquired_high.get();
+      s.acquired_own += w.acquired_own.get();
+      s.acquired_main += w.acquired_main.get();
+      s.idle_sleeps += w.idle_sleeps.get();
+      s.task_ns += w.task_ns.get();
+      s.chained_executions += w.chained.get();
+      s.batched_releases += w.batched_releases.get();
+      s.wakeups_suppressed += w.wakeups_suppressed.get();
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
 
-  for (unsigned i = 0; i < cfg_.num_threads; ++i) {
-    const WorkerCounters& w = worker_state_[i].counters;
-    s.tasks_executed += w.executed.get();
-    s.steals += w.steals.get();
-    s.steal_attempts += w.steal_attempts.get();
-    s.acquired_high += w.acquired_high.get();
-    s.acquired_own += w.acquired_own.get();
-    s.acquired_main += w.acquired_main.get();
-    s.idle_sleeps += w.idle_sleeps.get();
-    s.task_ns += w.task_ns.get();
-    s.chained_executions += w.chained.get();
-    s.batched_releases += w.batched_releases.get();
-    s.wakeups_suppressed += w.wakeups_suppressed.get();
-  }
+    // The analyzer counters are plain fields guarded by the lock that guards
+    // their table: snapshot the dependency counters shard by shard and the
+    // region counters under the region rwlock (shared side) so a stats()
+    // call racing nested submitters stays well-defined. The single-submitter
+    // configuration skips the locks, as everywhere else.
+    const DependencyAnalyzer::Counters dc =
+        dep_.counters_snapshot(/*lock=*/cfg_.nested_tasks);
+    RegionAnalyzer::Counters rc;
+    {
+      std::shared_lock<std::shared_mutex> lk(region_mu_, std::defer_lock);
+      if (cfg_.nested_tasks) lk.lock();
+      rc = regions_.counters();
+    }
+    s.raw_edges = dc.raw_edges + rc.raw_edges;
+    s.war_edges = dc.war_edges + rc.war_edges;
+    s.waw_edges = dc.waw_edges + rc.waw_edges;
+    s.renames = pool_.rename_count();
+    s.rename_bytes_total = pool_.total_bytes();
+    s.rename_bytes_peak = pool_.peak_bytes();
+    s.in_place_reuses = dc.in_place_reuses;
+    s.copy_ins = dc.copy_ins;
+    s.copy_in_bytes = dc.copy_in_bytes;
+    s.copyback_bytes = dc.copyback_bytes;
+    s.tracked_objects = dc.tracked_objects;
+    s.region_accesses = rc.accesses;
 
-  if (arena_) {
-    const PoolStats n = arena_->nodes.stats();
-    const PoolStats c = arena_->closures.stats();
-    s.pool_hits = n.hits + c.hits;
-    s.pool_refills = n.refills + c.refills;
-    s.pool_slabs = n.slabs + c.slabs;
+    if (arena_) {
+      const PoolStats n = arena_->nodes.stats();
+      const PoolStats c = arena_->closures.stats();
+      s.pool_hits = n.hits + c.hits;
+      s.pool_refills = n.refills + c.refills;
+      s.pool_slabs = n.slabs + c.slabs;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(streams_mu_);
+      std::uint64_t merged[LatencyHistogram::kBuckets] = {};
+      for (const auto& st : streams_) {
+        StreamStats row;
+        row.id = st->id;
+        row.name = st->name;
+        row.weight = st->ticket.weight;
+        row.phase = static_cast<std::uint8_t>(
+            st->phase.load(std::memory_order_acquire));
+        row.submitted = st->submitted.load(std::memory_order_relaxed);
+        row.retired = st->retired.load(std::memory_order_relaxed);
+        row.live = st->live.load(std::memory_order_relaxed);
+        row.throttled = st->throttled.load(std::memory_order_relaxed);
+        row.callbacks_run =
+            st->callbacks_run.load(std::memory_order_relaxed);
+        row.rename_bytes =
+            st->account.rename_bytes.load(std::memory_order_relaxed);
+        row.renames = st->account.renames.load(std::memory_order_relaxed);
+        row.dep_accesses =
+            st->account.accesses.load(std::memory_order_relaxed);
+        row.dep_edges = st->account.edges.load(std::memory_order_relaxed);
+        row.latency_count = st->latency.count();
+        row.latency_p50_ns = st->latency.percentile(0.50);
+        row.latency_p99_ns = st->latency.percentile(0.99);
+        st->latency.merge_into(merged);
+        s.stream_submitted += row.submitted;
+        s.stream_retired += row.retired;
+        s.stream_throttled += row.throttled;
+        s.streams.push_back(std::move(row));
+      }
+      for (std::uint64_t c : merged) s.service_latency_count += c;
+      s.service_p50_ns = LatencyHistogram::percentile_of(
+          merged, 0.50, s.service_latency_count);
+      s.service_p99_ns = LatencyHistogram::percentile_of(
+          merged, 0.99, s.service_latency_count);
+    }
+
+    // Submission side last, spawned_ very last (the invariant anchor).
+    s.tasks_inlined = inlined_.load(std::memory_order_relaxed);
+    s.tasks_nested = nested_spawned_.load(std::memory_order_relaxed);
+    s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
+    s.nested_throttled = nested_throttled_.load(std::memory_order_relaxed);
+    s.foreign_throttled = foreign_throttled_.load(std::memory_order_relaxed);
+    s.ready_at_creation = ready_at_creation_.load(std::memory_order_relaxed);
+    s.barriers = barriers_;
+    s.main_blocked_on_window = blocked_window_;
+    s.main_blocked_on_memory = blocked_memory_;
+    s.tasks_spawned = spawned_.load(std::memory_order_seq_cst);
+    s.snapshot_epoch = s.tasks_spawned;
+    s.snapshot_consistent = s.tasks_spawned == epoch0;
+    if (s.snapshot_consistent) break;
   }
   return s;
 }

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/slab_pool.hpp"
+#include "common/timing.hpp"
 #include "dep/dependency_analyzer.hpp"
 #include "dep/region_analyzer.hpp"
 #include "dep/renaming.hpp"
@@ -58,6 +60,8 @@
 #include "runtime/params.hpp"
 #include "runtime/spawn_closure.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/stream.hpp"
+#include "sched/admission.hpp"
 #include "sched/idle_wait.hpp"
 #include "sched/ready_lists.hpp"
 #include "trace/tracer.hpp"
@@ -183,6 +187,30 @@ class Runtime {
     wait_on_addr(static_cast<const void*>(ptr));
   }
 
+  // --- service mode -------------------------------------------------------------
+
+  /// Open a persistent submission stream (see runtime/stream.hpp). Requires
+  /// Config::nested_tasks (clients are concurrent submitters). Callable
+  /// from any thread; the StreamState is registry-pinned until the Runtime
+  /// dies. Task types must be registered before clients start submitting.
+  StreamHandle open_stream(StreamOptions opts = {});
+
+  /// Graceful whole-runtime shutdown of service mode: move every stream
+  /// that is still Open to Draining (new submissions are diagnosed), wait
+  /// for all their in-flight tasks (and callbacks) to retire, then mark
+  /// them Closed. Does not touch non-stream tasks and does not realign
+  /// renamed data — callers needing that run barrier() afterwards.
+  void shutdown_streams();
+
+  /// Streams currently in the Open phase.
+  std::size_t open_stream_count() const;
+
+  /// One-line JSON snapshot of the service counters (totals, window
+  /// occupancy, per-stream admitted/throttled/latency). `tasks_per_s` < 0
+  /// omits the rate field (the periodic exporter passes the rate it
+  /// computes between periods).
+  std::string stats_json(double tasks_per_s = -1.0) const;
+
   // --- introspection ------------------------------------------------------------
 
   StatsSnapshot stats() const;
@@ -211,6 +239,8 @@ class Runtime {
 
  private:
   friend void worker_main(Runtime& rt, unsigned tid);
+  friend class StreamHandle;
+  friend class FutureState;
 
   /// Per-thread scheduling state, padded against false sharing.
   struct alignas(kCacheLineSize) WorkerState {
@@ -285,6 +315,71 @@ class Runtime {
 
   void wait_on_addr(const void* addr);
 
+  // --- service mode internals (runtime/stream.cpp) ---------------------------
+
+  /// Blocking admission for one stream submission: fast path when nobody is
+  /// queued and capacity is free, else the weighted round-robin queue.
+  /// Increments s.submitted and s.live.
+  void stream_admit(StreamState& s);
+
+  /// Post-analysis accounting + creation-guard release for a stream task
+  /// (the Sec. III blocking conditions already ran as admission).
+  void submit_stream_task(TaskNode* t);
+
+  /// Retire-side service hook: fulfill the future (callback runs here,
+  /// before the stream's live count drops), record latency, credit the
+  /// stream, wake drainers.
+  void retire_service(TaskNode* t);
+
+  void drain_stream(StreamState& s);
+  void close_stream(StreamState& s);
+  void wait_future(FutureState& f);
+
+  void stats_exporter_main();
+
+  /// StreamHandle::submit/post forward here. `want_future` gates the
+  /// FutureState allocation (post() never allocates one).
+  template <typename F, detail::TaskParam... Ps>
+  TaskFuture spawn_stream(StreamState& s, bool want_future, TaskType type,
+                          F&& fn, Ps&&... ps) {
+    SMPSS_CHECK(type.id < types_.size(), "unregistered task type");
+    stream_admit(s);
+
+    const unsigned alloc_slot = submitter_tid();
+    TaskNode* t = allocate_task(alloc_slot);
+    t->type_id = type.id;
+    t->high_priority = types_[type.id].high_priority;
+    t->stream = &s;
+    t->account = &s.account;
+    t->submit_ns = now_ns();
+
+    using C = detail::Closure<std::decay_t<F>, std::decay_t<Ps>...>;
+    void* mem = t->allocate_closure(sizeof(C), alignof(C), alloc_slot);
+    C* closure = ::new (mem)
+        C{std::forward<F>(fn), std::tuple<std::decay_t<Ps>...>(
+                                   std::forward<Ps>(ps)...)};
+    t->set_vtable(&C::vtable);
+
+    TaskFuture fut;
+    if (want_future) {
+      auto* f = new FutureState(this);
+      t->future = f;         // task-side ref, dropped after fulfill()
+      fut = TaskFuture(f);   // handle-side ref (FutureState starts at 2)
+    }
+
+    // Streams are concurrent submitters by definition: always the collected
+    // two-phase shard path (open_stream requires Config::nested_tasks).
+    begin_submission(t);
+    SmallVector<AccessDesc, 6> descs;
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (collect_param<Is>(closure, descs), ...);
+    }(std::index_sequence_for<Ps...>{});
+    analyze_accesses(t, descs.begin(), descs.size());
+
+    submit_stream_task(t);
+    return fut;
+  }
+
   Config cfg_;
   std::thread::id main_thread_id_;
   /// Pooled TaskNode/closure storage. Declared before (so destroyed after)
@@ -335,6 +430,56 @@ class Runtime {
   std::uint64_t barriers_ = 0;
   std::uint64_t blocked_window_ = 0;
   std::uint64_t blocked_memory_ = 0;
+
+  // --- service mode ----------------------------------------------------------
+
+  /// Append-only stream registry: StreamStates are never freed or reused
+  /// before the Runtime dies (versions carry their SubmitterAccount past
+  /// stream close). Guarded by streams_mu_ for growth; the states
+  /// themselves are internally synchronized.
+  mutable std::mutex streams_mu_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+
+  /// Weighted round-robin admission for stream submissions (the fairness
+  /// replacement for the free-for-all foreign-thread gate).
+  AdmissionControl admission_;
+
+  /// Future waiters sleep here; retire_service notifies after fulfill.
+  IdleGate future_gate_;
+
+  // periodic JSON stats exporter (Config::stats_period_ms > 0)
+  std::thread stats_thread_;
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
 };
+
+// --- StreamHandle template forwarding (needs the full Runtime type) -----------
+
+template <typename F, detail::TaskParam... Ps>
+TaskFuture StreamHandle::submit(TaskType type, F&& fn, Ps&&... ps) {
+  SMPSS_CHECK(s_ != nullptr, "submit() on an invalid StreamHandle");
+  return rt_->spawn_stream(*s_, /*want_future=*/true, type,
+                           std::forward<F>(fn), std::forward<Ps>(ps)...);
+}
+
+template <typename F, detail::TaskParam... Ps>
+  requires(!std::is_same_v<std::decay_t<F>, TaskType>)
+TaskFuture StreamHandle::submit(F&& fn, Ps&&... ps) {
+  return submit(TaskType{0}, std::forward<F>(fn), std::forward<Ps>(ps)...);
+}
+
+template <typename F, detail::TaskParam... Ps>
+void StreamHandle::post(TaskType type, F&& fn, Ps&&... ps) {
+  SMPSS_CHECK(s_ != nullptr, "post() on an invalid StreamHandle");
+  rt_->spawn_stream(*s_, /*want_future=*/false, type, std::forward<F>(fn),
+                    std::forward<Ps>(ps)...);
+}
+
+template <typename F, detail::TaskParam... Ps>
+  requires(!std::is_same_v<std::decay_t<F>, TaskType>)
+void StreamHandle::post(F&& fn, Ps&&... ps) {
+  post(TaskType{0}, std::forward<F>(fn), std::forward<Ps>(ps)...);
+}
 
 }  // namespace smpss

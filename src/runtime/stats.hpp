@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/cache.hpp"
 #include "common/counters.hpp"
@@ -31,6 +33,27 @@ struct alignas(kCacheLineSize) WorkerCounters {
   /// worker was already running (gate had no sleepers), or because one
   /// wakeup covered several released tasks.
   Counter64 wakeups_suppressed;
+};
+
+/// Per-stream service-mode counters (one row per open_stream() call, closed
+/// streams included — the registry is append-only).
+struct StreamStats {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint32_t weight = 1;
+  std::uint8_t phase = 0;  ///< 0 Open, 1 Draining, 2 Closed
+  std::uint64_t submitted = 0;
+  std::uint64_t retired = 0;
+  std::int64_t live = 0;
+  std::uint64_t throttled = 0;      ///< admissions that had to queue
+  std::uint64_t callbacks_run = 0;  ///< futures whose callback ran at retire
+  std::uint64_t rename_bytes = 0;   ///< current renamed storage charged here
+  std::uint64_t renames = 0;
+  std::uint64_t dep_accesses = 0;
+  std::uint64_t dep_edges = 0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
 };
 
 /// Aggregate view returned by Runtime::stats().
@@ -87,6 +110,22 @@ struct StatsSnapshot {
   std::uint64_t pool_hits = 0;     ///< node+closure allocs served from lists
   std::uint64_t pool_refills = 0;  ///< batched trips to the overflow list
   std::uint64_t pool_slabs = 0;    ///< slab mallocs (the only real allocs)
+
+  // service mode (empty/zero when no stream was ever opened)
+  std::vector<StreamStats> streams;
+  std::uint64_t stream_submitted = 0;  ///< sum over streams
+  std::uint64_t stream_retired = 0;
+  std::uint64_t stream_throttled = 0;
+  std::uint64_t service_latency_count = 0;  ///< merged over streams
+  std::uint64_t service_p50_ns = 0;
+  std::uint64_t service_p99_ns = 0;
+
+  // snapshot consistency (see Runtime::stats): the counters above were
+  // gathered execution-side-first behind a seq_cst fence, and re-read until
+  // two passes agreed (or the attempt bound was hit). `snapshot_epoch` is
+  // the spawned_ value the accepted pass observed — monotone across calls.
+  std::uint64_t snapshot_epoch = 0;
+  bool snapshot_consistent = false;
 };
 
 }  // namespace smpss

@@ -18,14 +18,18 @@
 // Failures print the spec, the config, and a replay command line.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "patterns/driver.hpp"
+#include "runtime/runtime.hpp"
 #include "seed_util.hpp"
 
 namespace smpss::patterns {
@@ -298,9 +302,8 @@ TEST(PatternFuzz, TimeBoxedRandomSweep) {
     run_fuzz_seed(*s);
     return;
   }
-  const std::uint64_t base = static_cast<std::uint64_t>(
-      env_int("SMPSS_FUZZ_SEED_BASE").value_or(20260728));
-  const long long budget_ms = env_int("SMPSS_FUZZ_BUDGET_MS").value_or(2000);
+  const std::uint64_t base = smpss::testing::fuzz_seed_base(20260728);
+  const long long budget_ms = smpss::testing::fuzz_budget_ms(2000);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
   std::uint64_t seed = base;
@@ -311,6 +314,109 @@ TEST(PatternFuzz, TimeBoxedRandomSweep) {
   // The CI fuzz leg greps this line into the step summary so the seed range
   // a green run covered is recorded.
   std::cout << "pattern-fuzz: " << (seed - base) << " seeds in [" << base
+            << ", " << (seed == base ? base : seed - 1)
+            << "], budget_ms=" << budget_ms << std::endl;
+}
+
+// --- service-mode fuzz shape ---------------------------------------------------
+// Random (stream count, per-stream window/weight, spec, lowering, arrival
+// stagger) drawn from one seed: N client threads multiplex independent
+// pattern graphs onto one runtime through StreamHandles, racing the
+// admission queue and the sharded analyzers; every image must still match
+// its sequential oracle. The shape (everything but the OS interleaving) is
+// seed-determined, so SMPSS_TEST_SEED replays it exactly.
+
+void run_service_fuzz_seed(std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x5E47F1CEull);
+  Config cfg;
+  cfg.num_threads = 2 + static_cast<unsigned>(rng.next_below(3));  // 2..4
+  cfg.nested_tasks = true;
+  cfg.task_window =
+      std::array<std::size_t, 3>{24, 128, 8192}[rng.next_below(3)];
+  cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
+  const int nstreams = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+
+  struct Client {
+    PatternSpec spec;
+    LowerMode mode;
+    StreamOptions opts;
+    std::uint32_t stagger_us;
+  };
+  std::vector<Client> plan;
+  for (int i = 0; i < nstreams; ++i) {
+    Client c;
+    c.spec = random_spec(rng);
+    c.spec.steps = 2 + static_cast<std::int32_t>(rng.next_below(7));  // 2..8
+    c.mode = (address_mode_ok(c.spec) && rng.next_below(2) == 0)
+                 ? LowerMode::Address
+                 : LowerMode::Region;
+    c.opts.name = "fuzz-" + std::to_string(i);
+    c.opts.weight = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    c.opts.task_window =
+        std::array<std::size_t, 3>{0, 4, 16}[rng.next_below(3)];
+    c.stagger_us = static_cast<std::uint32_t>(rng.next_below(300));
+    plan.push_back(c);
+  }
+
+  std::vector<PatternImage> imgs;
+  for (const Client& c : plan)
+    imgs.push_back(make_initial_image(c.spec, default_fields(c.spec)));
+  {
+    Runtime rt(cfg);
+    TaskType point = rt.register_task_type("service_fuzz_point");
+    std::vector<StreamHandle> streams;
+    for (const Client& c : plan) streams.push_back(rt.open_stream(c.opts));
+    std::vector<std::thread> clients;
+    for (int i = 0; i < nstreams; ++i)
+      clients.emplace_back([&, i] {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(plan[i].stagger_us));
+        submit_pattern_stream(streams[i], point, plan[i].spec, imgs[i],
+                              plan[i].mode);
+        streams[i].drain();
+      });
+    for (auto& th : clients) th.join();
+    rt.barrier();  // realign renamed data into the images
+    for (int i = 0; i < nstreams; ++i) {
+      ASSERT_EQ(streams[i].state()->submitted.load(),
+                static_cast<std::uint64_t>(plan[i].spec.total_tasks()))
+          << "service fuzz seed=" << seed << " stream " << i;
+      ASSERT_EQ(streams[i].state()->retired.load(),
+                streams[i].state()->submitted.load())
+          << "service fuzz seed=" << seed << " stream " << i;
+    }
+    ASSERT_EQ(rt.live_tasks(), 0u) << "service fuzz seed=" << seed;
+  }
+  for (int i = 0; i < nstreams; ++i) {
+    const PatternImage expect = run_oracle(plan[i].spec, imgs[i].nfields);
+    ASSERT_TRUE(images_equal(imgs[i], expect))
+        << "service fuzz seed=" << seed << " stream " << i << " mode "
+        << to_string(plan[i].mode) << "\n  " << plan[i].spec.describe()
+        << "\n  "
+        << smpss::testing::replay_command("pattern_conformance_test",
+                                          "PatternFuzz.ServiceMode*", seed);
+  }
+}
+
+TEST(PatternFuzz, ServiceModeRandomStreams) {
+  if (auto s = smpss::testing::seed_override()) {
+    std::cout << "service-fuzz: replaying single seed " << *s << std::endl;
+    run_service_fuzz_seed(*s);
+    return;
+  }
+  // A quarter of the shared fuzz budget: this shape rides in the same CI
+  // leg as TimeBoxedRandomSweep without doubling its wall clock.
+  const std::uint64_t base = smpss::testing::fuzz_seed_base(20260807);
+  const long long budget_ms = smpss::testing::fuzz_budget_ms(2000, 1, 4);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+  std::uint64_t seed = base;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_NO_FATAL_FAILURE(run_service_fuzz_seed(seed))
+        << "failing seed: " << seed;
+    ++seed;
+  }
+  std::cout << "service-fuzz: " << (seed - base) << " seeds in [" << base
             << ", " << (seed == base ? base : seed - 1)
             << "], budget_ms=" << budget_ms << std::endl;
 }

@@ -33,4 +33,21 @@ inline std::string replay_command(const char* binary, const char* filter,
   return os.str();
 }
 
+/// First seed of a fuzz stream (SMPSS_FUZZ_SEED_BASE; CI passes the run id
+/// so every green run covers a fresh range).
+inline std::uint64_t fuzz_seed_base(long long fallback) {
+  return static_cast<std::uint64_t>(
+      env_int("SMPSS_FUZZ_SEED_BASE").value_or(fallback));
+}
+
+/// Time box of one fuzz leg (SMPSS_FUZZ_BUDGET_MS). Legs sharing one budget
+/// env var scale it by `num/den` — e.g. the service-mode shape runs on a
+/// quarter of the pattern-fuzz budget, so enabling it never doubles the CI
+/// leg's wall clock.
+inline long long fuzz_budget_ms(long long fallback, long long num = 1,
+                                long long den = 1) {
+  const long long budget = env_int("SMPSS_FUZZ_BUDGET_MS").value_or(fallback);
+  return budget * num / den;
+}
+
 }  // namespace smpss::testing

@@ -277,5 +277,49 @@ TEST(ConcurrentIntrospection, StatsAndWaitOnRaceSubmitters) {
   EXPECT_EQ(s.tasks_nested, static_cast<std::uint64_t>(kParents) * kChildren);
 }
 
+TEST(ConcurrentIntrospection, SnapshotNeverShowsExecutedAboveSpawned) {
+  // Regression: stats() used to sum the counters in submission order
+  // (spawned first, executed last), so a snapshot racing the workers could
+  // report tasks_executed > tasks_spawned — impossible totals that broke
+  // rate computation in the exporter. The snapshot now reads the
+  // executed-side counters first and spawned last (with an epoch retry), so
+  // executed <= spawned holds in every snapshot, no matter the race.
+  Config cfg;
+  cfg.num_threads = 4;
+  cfg.nested_tasks = true;
+  Runtime rt(cfg);
+  constexpr int kSubmitters = 3, kTasks = 2000;
+  std::vector<long> lanes(kSubmitters, 0);
+  std::vector<std::thread> subs;
+  for (int p = 0; p < kSubmitters; ++p)
+    subs.emplace_back([&rt, lane = &lanes[p]] {
+      for (int i = 0; i < kTasks; ++i)
+        rt.spawn([](long* q) { *q += 1; }, inout(lane));
+    });
+  std::uint64_t last_epoch = 0;
+  int consistent = 0, total = 0;
+  while (rt.stats().tasks_executed <
+         static_cast<std::uint64_t>(kSubmitters) * kTasks) {
+    StatsSnapshot s = rt.stats();
+    ++total;
+    ASSERT_LE(s.tasks_executed, s.tasks_spawned)
+        << "snapshot " << total << " shows impossible totals";
+    ASSERT_GE(s.snapshot_epoch, last_epoch) << "epoch went backwards";
+    last_epoch = s.snapshot_epoch;
+    if (s.snapshot_consistent) {
+      ++consistent;
+      EXPECT_EQ(s.snapshot_epoch, s.tasks_spawned);
+    }
+  }
+  for (auto& t : subs) t.join();
+  rt.barrier();
+  // Quiescent snapshots always win their epoch check.
+  StatsSnapshot s = rt.stats();
+  EXPECT_TRUE(s.snapshot_consistent);
+  EXPECT_EQ(s.tasks_executed, s.tasks_spawned);
+  EXPECT_GT(consistent, 0) << "no snapshot ever stabilized in " << total
+                           << " attempts";
+}
+
 }  // namespace
 }  // namespace smpss

@@ -9,8 +9,12 @@ median throughput regressed by more than the threshold.
 
 Throughput is taken from the ``tasks_per_s`` user counter (higher is
 better); benchmarks without it fall back to ``real_time`` (lower is
-better). Repetition aggregates: the ``_median`` entry is preferred, then
-``_mean``, then the median over raw repetitions.
+better). Benchmarks that export a ``p99_ns`` latency counter (the service
+benches) are additionally gated on the tail: a ``name::p99_ns`` row
+(lower is better) rides next to the throughput row, so a change that keeps
+the median rate but blows up the latency tail still fails the gate.
+Repetition aggregates: the ``_median`` entry is preferred, then ``_mean``,
+then the median over raw repetitions.
 
 Usage:
     bench_compare.py --baseline DIR --current DIR [--threshold 0.20]
@@ -37,17 +41,22 @@ def load_medians(path):
         name = b.get("run_name") or b.get("name", "")
         if not name:
             continue
+        metrics = []
         counters_value = b.get("tasks_per_s")
         if counters_value is not None:
-            value, higher = float(counters_value), True
+            metrics.append((name, float(counters_value), True))
         else:
-            value, higher = float(b.get("real_time", 0.0)), False
-        if b.get("run_type") == "aggregate":
-            if b.get("aggregate_name") in ("median", "mean"):
-                aggregates.setdefault(name, {})[b["aggregate_name"]] = (
-                    value, higher)
-        else:
-            raw.setdefault(name, []).append((value, higher))
+            metrics.append((name, float(b.get("real_time", 0.0)), False))
+        p99 = b.get("p99_ns")
+        if p99 is not None and float(p99) > 0:
+            metrics.append((f"{name}::p99_ns", float(p99), False))
+        for mname, value, higher in metrics:
+            if b.get("run_type") == "aggregate":
+                if b.get("aggregate_name") in ("median", "mean"):
+                    aggregates.setdefault(mname, {})[b["aggregate_name"]] = (
+                        value, higher)
+            else:
+                raw.setdefault(mname, []).append((value, higher))
     out = {}
     for name, aggs in aggregates.items():
         picked = aggs.get("median") or aggs.get("mean")
