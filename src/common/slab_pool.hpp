@@ -222,25 +222,32 @@ class SlabPool {
   std::atomic<std::uint64_t> slab_count_{0};
 };
 
-/// The two size classes the task lifecycle allocates from: one pool of
-/// TaskNode-sized blocks and one of small closure blocks (closures that fit
+/// The size classes the task lifecycle allocates from: one pool of
+/// TaskNode-sized blocks, one of small closure blocks (closures that fit
 /// neither the node's inline buffer nor this class fall back to operator
-/// new, exactly as before pooling). Owned by the Runtime; every TaskNode
-/// carries a pointer back here so retire can recycle from any thread.
+/// new, exactly as before pooling), and one of successor-edge links (the
+/// lock-free successor stacks on TaskNode are built from these — see
+/// graph/task.hpp). Owned by the Runtime; every TaskNode carries a pointer
+/// back here so retire can recycle from any thread.
 class TaskArena {
  public:
   /// Closure blocks: large enough for a capture-heavy lambda plus a
   /// several-parameter tuple; anything bigger is rare enough to heap.
   static constexpr std::size_t kClosureBlockBytes = 256;
 
+  /// Successor-link blocks: two pointers (SuccLink in graph/task.hpp).
+  static constexpr std::size_t kEdgeBlockBytes = 2 * sizeof(void*);
+
   TaskArena(std::size_t node_bytes, std::size_t node_align,
             unsigned owner_slots, unsigned cache_blocks)
       : nodes(node_bytes, node_align, owner_slots, cache_blocks),
         closures(kClosureBlockBytes, alignof(std::max_align_t), owner_slots,
-                 cache_blocks) {}
+                 cache_blocks),
+        edges(kEdgeBlockBytes, alignof(void*), owner_slots, cache_blocks) {}
 
   SlabPool nodes;
   SlabPool closures;
+  SlabPool edges;
 };
 
 }  // namespace smpss

@@ -30,58 +30,105 @@ unsigned round_up_pow2(unsigned n) {
 
 DependencyAnalyzer::DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
                                        unsigned shard_count,
-                                       GraphRecorder* recorder)
-    : pool_(pool), renaming_(renaming_enabled), recorder_(recorder) {
+                                       GraphRecorder* recorder,
+                                       unsigned owner_slots,
+                                       unsigned cache_blocks, bool lockfree)
+    : pool_(pool),
+      renaming_(renaming_enabled),
+      // The no-renaming ablation records per-version reader task lists for
+      // WAR edges; that needs the submission lock, so it forces locked mode.
+      lockfree_(lockfree && renaming_enabled),
+      recorder_(recorder),
+      vpool_(Version::block_bytes(), alignof(std::max_align_t),
+             owner_slots < 1 ? 1 : owner_slots,
+             cache_blocks < 1 ? 1 : cache_blocks) {
   if (shard_count < 1) shard_count = 1;
   if (shard_count > kMaxShards) shard_count = kMaxShards;
   shard_count = round_up_pow2(shard_count);
   shard_mask_ = shard_count - 1;
   shards_ = std::make_unique<Shard[]>(shard_count);
+  stripes_ = std::make_unique<CounterStripe[]>(kStripes);
 }
 
 DependencyAnalyzer::~DependencyAnalyzer() {
   // Normal shutdown goes through flush_all() after a barrier; this handles
-  // abandoned runtimes without leaking versions.
+  // abandoned runtimes without leaking versions or entries.
   for (unsigned s = 0; s <= shard_mask_; ++s) {
-    for (auto& [addr, e] : shards_[s].entries) {
-      if (e.latest) e.latest->release(pool_);
+    for (auto& bucket : shards_[s].buckets) {
+      DataEntry* p = bucket.load(std::memory_order_acquire);
+      while (p != nullptr) {
+        DataEntry* next = p->next.load(std::memory_order_relaxed);
+        if (Version* v = p->latest.load(std::memory_order_acquire))
+          v->release(pool_);
+        delete p;
+        p = next;
+      }
     }
   }
 }
 
-DataEntry& DependencyAnalyzer::entry_for(Shard& sh, void* addr,
-                                         std::size_t bytes) {
-  auto [it, inserted] = sh.entries.try_emplace(addr);
-  DataEntry& e = it->second;
-  if (inserted) {
-    e.user_ptr = addr;
-    e.bytes = bytes;
-    // Initial version: the program's own storage, already "produced".
-    e.latest = new Version(&e, addr, bytes, /*renamed=*/false,
-                           /*producer=*/nullptr);
-    ++sh.counters.tracked_objects;
+DataEntry& DependencyAnalyzer::entry_for(CounterStripe& st, unsigned slot,
+                                         void* addr, std::size_t bytes) {
+  Shard& sh = shard_for(addr);
+  std::atomic<DataEntry*>& bucket = sh.buckets[bucket_of_hash(hash_of(addr))];
+  DataEntry* head = bucket.load(std::memory_order_acquire);
+  for (DataEntry* p = head; p != nullptr;
+       p = p->next.load(std::memory_order_acquire)) {
+    if (p->user_ptr == addr) return *p;
   }
-  // Growth of e.bytes is a write-side decision (process_write): the tracked
-  // extent is the largest extent ever *written*, and the latest version
-  // always covers it (the copy-back invariant).
-  return e;
+  // Miss: build the entry with its initial version — the program's own
+  // storage, already "produced" — and CAS-prepend it. Chains are
+  // prepend-only until flush (which requires quiescence), so the walks above
+  // and below never race with reclamation.
+  auto* e = new DataEntry;
+  e->user_ptr = addr;
+  e->bytes.store(bytes, std::memory_order_relaxed);
+  Version* v0 = Version::create(vpool_, slot, e, addr, bytes,
+                                /*renamed=*/false, /*producer=*/nullptr);
+  e->latest.store(v0, std::memory_order_release);
+  DataEntry* checked = head;  // everything from here down is already scanned
+  while (true) {
+    e->next.store(head, std::memory_order_relaxed);
+    if (bucket.compare_exchange_weak(head, e, std::memory_order_release,
+                                     std::memory_order_acquire)) {
+      st.tracked_objects.fetch_add(1, std::memory_order_relaxed);
+      return *e;
+    }
+    // Lost the insert race: scan only the newly prepended prefix for a
+    // duplicate of our address; the loser destroys its speculative entry.
+    for (DataEntry* p = head; p != checked;
+         p = p->next.load(std::memory_order_acquire)) {
+      if (p->user_ptr == addr) {
+        v0->release(pool_);
+        delete e;
+        return *p;
+      }
+    }
+    checked = head;
+  }
 }
 
-void DependencyAnalyzer::add_edge(Shard& sh, TaskNode* pred, TaskNode* succ,
-                                  EdgeKind kind) {
+void DependencyAnalyzer::add_edge(CounterStripe& st, TaskNode* pred,
+                                  TaskNode* succ, EdgeKind kind) {
   SMPSS_ASSERT(pred != succ);
   // Release-side fast path: a predecessor whose completion hint is already
-  // visible can never accept a new successor — the hint is published after
-  // completion flips `completed_` under the successor lock, so a true hint
-  // implies add_successor would refuse. Skipping it here keeps the retired
-  // producer's lock word untouched (no RMW on a cold cache line) for the
-  // common re-read of long-finished data.
+  // visible can never accept a new successor — the hint is the successor
+  // stack's closed sentinel, so a true hint means add_successor would
+  // refuse. Skipping it here keeps the retired producer's stack word
+  // untouched (no RMW on a cold cache line) for the common re-read of
+  // long-finished data.
   if (pred->finished_hint()) return;
   if (!pred->add_successor(succ)) return;  // predecessor already completed
   switch (kind) {
-    case EdgeKind::True: ++sh.counters.raw_edges; break;
-    case EdgeKind::Anti: ++sh.counters.war_edges; break;
-    case EdgeKind::Output: ++sh.counters.waw_edges; break;
+    case EdgeKind::True:
+      st.raw_edges.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EdgeKind::Anti:
+      st.war_edges.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case EdgeKind::Output:
+      st.waw_edges.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
   // Per-stream accounting: edges are charged to the *successor* (the task
@@ -91,46 +138,86 @@ void DependencyAnalyzer::add_edge(Shard& sh, TaskNode* pred, TaskNode* succ,
     succ->account->edges.fetch_add(1, std::memory_order_relaxed);
 }
 
+Version* DependencyAnalyzer::pin_latest(CounterStripe& st, TaskNode* task,
+                                        DataEntry& e) {
+  while (true) {
+    Version* v = e.latest.load(std::memory_order_acquire);
+    // Register first (count + ref), then validate the head is unchanged.
+    // The seq_cst increment inside register_reader pairs with the writer's
+    // seq_cst publication CAS and readers_pending probe (Dekker): either our
+    // validation sees the writer's new head and we retry, or the writer's
+    // probe sees our pending count. If the version died and the block was
+    // recycled in between, the abort makes the excursion net-zero (see
+    // dep/version.hpp).
+    v->register_reader(task, /*record_task=*/false);
+    if (e.latest.load(std::memory_order_seq_cst) == v) return v;
+    v->abort_reader_registration(pool_);
+    st.cas_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void* DependencyAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   SMPSS_ASSERT(!access.has_region);  // region accesses go to RegionAnalyzer
-  Shard& sh = shard_for(access.addr);
-  ++sh.counters.accesses;
+  const unsigned slot = task->submit_slot;
+  CounterStripe& st = stripe_for(slot);
+  st.accesses.fetch_add(1, std::memory_order_relaxed);
   if (task->account)
     task->account->accesses.fetch_add(1, std::memory_order_relaxed);
-  DataEntry& e = entry_for(sh, access.addr, access.bytes);
+  DataEntry& e = entry_for(st, slot, access.addr, access.bytes);
   switch (access.dir) {
     case Dir::In:
-      return process_read(sh, task, e, access.bytes);
+      return process_read(st, task, e, access.bytes);
     case Dir::Out:
-      return process_write(sh, task, e, access.bytes, /*also_reads=*/false);
+      if (lockfree_)
+        return process_write_lockfree(st, slot, task, e, access.bytes,
+                                      /*also_reads=*/false);
+      return process_write(st, slot, task, e, access.bytes,
+                           /*also_reads=*/false);
     case Dir::InOut:
-      return process_write(sh, task, e, access.bytes, /*also_reads=*/true);
+      if (lockfree_)
+        return process_write_lockfree(st, slot, task, e, access.bytes,
+                                      /*also_reads=*/true);
+      return process_write(st, slot, task, e, access.bytes,
+                           /*also_reads=*/true);
   }
   return nullptr;  // unreachable
 }
 
-void* DependencyAnalyzer::process_read(Shard& sh, TaskNode* task, DataEntry& e,
-                                       std::size_t bytes) {
-  Version* v = e.latest;
+void* DependencyAnalyzer::process_read(CounterStripe& st, TaskNode* task,
+                                       DataEntry& e, std::size_t bytes) {
+  Version* v;
+  if (lockfree_) {
+    // The speculative pin IS the reader registration once validated.
+    v = pin_latest(st, task, e);
+  } else {
+    v = e.latest.load(std::memory_order_acquire);
+    // Reader task recording feeds WAR edges, which only the no-renaming
+    // ablation emits; skip the vector churn (and per-reader task refs) when
+    // renaming absorbs those hazards.
+    v->register_reader(task, /*record_task=*/!renaming_);
+  }
+  // A freshly CAS-published version may still be storage-unresolved while
+  // its writer decides between reuse and rename; bytes()/renamed() are only
+  // stable after the wait.
+  void* s = v->storage_wait();
   SMPSS_CHECK(!v->renamed() || bytes <= v->bytes(),
               "task declares a larger input size than the renamed version "
               "holds — inconsistent parameter sizes on one datum");
   if (!available_to(task, v)) {
-    add_edge(sh, v->producer(), task, EdgeKind::True);
+    add_edge(st, v->producer(), task, EdgeKind::True);
   }
-  v->register_reader(task);
   task->reads.push_back(v);
-  if (v->storage() == e.user_ptr) {
+  if (s == e.user_ptr) {
     e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
     task->user_pending_slots.push_back(&e.user_storage_pending);
   }
-  return v->storage();
+  return s;
 }
 
-void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
-                                        DataEntry& e, std::size_t bytes,
-                                        bool also_reads) {
-  Version* v = e.latest;
+void* DependencyAnalyzer::process_write(CounterStripe& st, unsigned slot,
+                                        TaskNode* task, DataEntry& e,
+                                        std::size_t bytes, bool also_reads) {
+  Version* v = e.latest.load(std::memory_order_acquire);
 
   // Merged-extent invariant: e.bytes is the largest extent ever written and
   // every version covers all of it, so copy-back of `latest` alone restores
@@ -138,11 +225,11 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
   // *inherits* the predecessor's tail bytes instead of truncating them; a
   // write larger than it grows the extent.
   const std::size_t old_ext = v->bytes();
-  if (bytes > e.bytes) e.bytes = bytes;
-  const std::size_t ext = e.bytes;
+  fetch_max(e.bytes, bytes);
+  const std::size_t ext = e.bytes.load(std::memory_order_relaxed);
 
   if (also_reads && !available_to(task, v)) {
-    add_edge(sh, v->producer(), task, EdgeKind::True);  // RAW on the old value
+    add_edge(st, v->producer(), task, EdgeKind::True);  // RAW on the old value
   }
 
   void* storage = nullptr;
@@ -172,7 +259,7 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
       // charge: the credit must go to whichever account paid for the bytes.
       acct = v->account();
       v->disown_storage();  // ownership moves to the new version
-      ++sh.counters.in_place_reuses;
+      st.in_place_reuses.fetch_add(1, std::memory_order_relaxed);
       // In-place merge is free: tail bytes beyond `bytes` (if any) are
       // already sitting in this storage.
     } else {
@@ -187,11 +274,11 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
         if (!also_reads && !available_to(task, v)) {
           // The inherited tail is a true dependence on the old producer even
           // though the body itself never reads it.
-          add_edge(sh, v->producer(), task, EdgeKind::True);
+          add_edge(st, v->producer(), task, EdgeKind::True);
         }
         // Register as reader (keeps the old version's storage alive until
         // this task completes) and schedule the byte copy.
-        v->register_reader(task);
+        v->register_reader(task, /*record_task=*/false);
         task->reads.push_back(v);
         if (v->storage() == e.user_ptr) {
           e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
@@ -200,8 +287,9 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
         task->copy_ins.push_back(
             CopyIn{static_cast<const char*>(v->storage()) + keep_lo,
                    static_cast<char*>(storage) + keep_lo, old_ext - keep_lo});
-        ++sh.counters.copy_ins;
-        sh.counters.copy_in_bytes += old_ext - keep_lo;
+        st.copy_ins.fetch_add(1, std::memory_order_relaxed);
+        st.copy_in_bytes.fetch_add(old_ext - keep_lo,
+                                   std::memory_order_relaxed);
       }
       if (also_reads && ext > old_ext) {
         // Growing inout: bytes [old_ext, ext) were never written by any
@@ -213,8 +301,8 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
         task->copy_ins.push_back(
             CopyIn{static_cast<const char*>(e.user_ptr) + old_ext,
                    static_cast<char*>(storage) + old_ext, ext - old_ext});
-        ++sh.counters.copy_ins;
-        sh.counters.copy_in_bytes += ext - old_ext;
+        st.copy_ins.fetch_add(1, std::memory_order_relaxed);
+        st.copy_in_bytes.fetch_add(ext - old_ext, std::memory_order_relaxed);
       }
     }
   } else {
@@ -223,11 +311,11 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
     // accesses are exempt for the same scoping reason as above. The merge
     // invariant is trivial here — all writes land in user storage.
     if (!available_to(task, v)) {
-      add_edge(sh, v->producer(), task, EdgeKind::Output);
+      add_edge(st, v->producer(), task, EdgeKind::Output);
     }
     for (TaskNode* r : v->reader_tasks()) {
       if (r != task && !r->finished_hint() && !task->has_ancestor(r)) {
-        add_edge(sh, r, task, EdgeKind::Anti);
+        add_edge(st, r, task, EdgeKind::Anti);
       }
     }
     storage = v->storage();
@@ -235,8 +323,9 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
     v->disown_storage();
   }
 
-  auto* v2 = new Version(&e, storage, ext, renamed, task, acct);
-  e.latest = v2;
+  auto* v2 = Version::create(vpool_, slot, &e, storage, ext, renamed, task,
+                             acct);
+  e.latest.store(v2, std::memory_order_release);
   v->release(pool_);  // drop the superseded version's latest-token
   task->produces.push_back(v2);
   if (storage == e.user_ptr) {
@@ -246,55 +335,211 @@ void* DependencyAnalyzer::process_write(Shard& sh, TaskNode* task,
   return storage;
 }
 
+void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
+                                                 unsigned slot, TaskNode* task,
+                                                 DataEntry& e,
+                                                 std::size_t bytes,
+                                                 bool also_reads) {
+  SMPSS_ASSERT(renaming_);
+  // Publish first, decide later: the new version is CAS-swung onto the chain
+  // head with its storage still unresolved. Success transfers the superseded
+  // version's latest-token to us — from that point v cannot die under us and
+  // no later writer can touch it (writers of one datum serialize on this
+  // CAS). Crucially, v is NOT read at all before the CAS: a lost race means
+  // the pointer may refer to a recycled block, and only the transferred
+  // token makes its fields trustworthy.
+  Version* v2 = Version::create(vpool_, slot, &e, Version::unresolved_storage(),
+                                /*bytes=*/0, /*renamed=*/false, task);
+  Version* v = e.latest.load(std::memory_order_acquire);
+  while (!e.latest.compare_exchange_weak(v, v2, std::memory_order_seq_cst,
+                                         std::memory_order_acquire)) {
+    st.cas_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Our predecessor may itself still be storage-unresolved (its writer is
+  // mid-decision); every field read below needs it finalized.
+  v->storage_wait();
+
+  const std::size_t old_ext = v->bytes();
+  fetch_max(e.bytes, bytes);
+  const std::size_t ext = e.bytes.load(std::memory_order_relaxed);
+
+  if (also_reads && !available_to(task, v)) {
+    add_edge(st, v->producer(), task, EdgeKind::True);  // RAW on the old value
+  }
+
+  void* storage = nullptr;
+  bool renamed = false;
+  SubmitterAccount* acct = nullptr;
+
+  // Hazard probe: the seq_cst readers_pending read after our seq_cst CAS
+  // pairs with the reader pin protocol (register seq_cst, then validate) —
+  // a reader that validated against v is visible here, and a reader we do
+  // not see will fail validation and retry against v2. Phantom counts from
+  // recycled-block excursions can only inflate the probe (spurious rename,
+  // never a missed hazard).
+  const bool others_reading = v->readers_pending() > 0;
+  const bool old_unproduced = !available_to(task, v);
+  const bool too_small = v->renamed() && ext > old_ext;
+  const bool hazard =
+      (also_reads ? others_reading : (others_reading || old_unproduced)) ||
+      too_small;
+
+  if (!hazard) {
+    storage = v->storage();
+    renamed = v->renamed();
+    acct = v->account();
+    v->disown_storage();
+    st.in_place_reuses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    acct = task->account;
+    storage = pool_.allocate(ext, acct);
+    renamed = true;
+    const std::size_t keep_lo = also_reads ? 0 : bytes;
+    if (keep_lo < old_ext) {
+      if (!also_reads && !available_to(task, v)) {
+        add_edge(st, v->producer(), task, EdgeKind::True);
+      }
+      // v is stable (we hold its former latest-token), so this registration
+      // needs no speculative pin.
+      v->register_reader(task, /*record_task=*/false);
+      task->reads.push_back(v);
+      if (v->storage() == e.user_ptr) {
+        e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+        task->user_pending_slots.push_back(&e.user_storage_pending);
+      }
+      task->copy_ins.push_back(
+          CopyIn{static_cast<const char*>(v->storage()) + keep_lo,
+                 static_cast<char*>(storage) + keep_lo, old_ext - keep_lo});
+      st.copy_ins.fetch_add(1, std::memory_order_relaxed);
+      st.copy_in_bytes.fetch_add(old_ext - keep_lo, std::memory_order_relaxed);
+    }
+    if (also_reads && ext > old_ext) {
+      e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+      task->user_pending_slots.push_back(&e.user_storage_pending);
+      task->copy_ins.push_back(
+          CopyIn{static_cast<const char*>(e.user_ptr) + old_ext,
+                 static_cast<char*>(storage) + old_ext, ext - old_ext});
+      st.copy_ins.fetch_add(1, std::memory_order_relaxed);
+      st.copy_in_bytes.fetch_add(ext - old_ext, std::memory_order_relaxed);
+    }
+  }
+
+  // Resolve v2: readers pinned on it are spinning in storage_wait() for
+  // exactly this release.
+  v2->finalize_storage(storage, ext, renamed, acct);
+
+  task->produces.push_back(v2);
+  if (storage == e.user_ptr) {
+    e.user_storage_pending.fetch_add(1, std::memory_order_relaxed);
+    task->user_pending_slots.push_back(&e.user_storage_pending);
+  }
+  v->release(pool_);  // drop the latest-token the CAS transferred to us
+  return storage;
+}
+
 void DependencyAnalyzer::flush_all() {
+  CounterStripe& st = stripes_[0];
   for (unsigned s = 0; s <= shard_mask_; ++s) {
     Shard& sh = shards_[s];
     std::lock_guard<std::mutex> lk(sh.mu);
-    for (auto& [addr, e] : sh.entries) {
-      Version* v = e.latest;
-      SMPSS_ASSERT(v->is_produced());
-      SMPSS_ASSERT(v->readers_pending() == 0);
-      // The merged-extent invariant copy-back correctness rests on.
-      SMPSS_ASSERT(v->bytes() == e.bytes);
-      if (v->storage() != e.user_ptr) {
-        std::memcpy(e.user_ptr, v->storage(), v->bytes());
-        sh.counters.copyback_bytes += v->bytes();
+    for (auto& bucket : sh.buckets) {
+      DataEntry* p = bucket.load(std::memory_order_acquire);
+      bucket.store(nullptr, std::memory_order_relaxed);
+      while (p != nullptr) {
+        DataEntry* next = p->next.load(std::memory_order_relaxed);
+        Version* v = p->latest.load(std::memory_order_acquire);
+        SMPSS_ASSERT(v->is_produced());
+        SMPSS_ASSERT(v->readers_pending() == 0);
+        // The merged-extent invariant copy-back correctness rests on.
+        SMPSS_ASSERT(v->bytes() == p->bytes.load(std::memory_order_relaxed));
+        if (v->storage() != p->user_ptr) {
+          std::memcpy(p->user_ptr, v->storage(), v->bytes());
+          st.copyback_bytes.fetch_add(v->bytes(), std::memory_order_relaxed);
+        }
+        v->release(pool_);
+        delete p;
+        p = next;
       }
-      v->release(pool_);
     }
-    sh.entries.clear();
   }
 }
 
 DataEntry* DependencyAnalyzer::find(const void* addr) {
   Shard& sh = shard_for(addr);
-  auto it = sh.entries.find(addr);
-  return it == sh.entries.end() ? nullptr : &it->second;
+  for (DataEntry* p =
+           sh.buckets[bucket_of_hash(hash_of(addr))].load(
+               std::memory_order_acquire);
+       p != nullptr; p = p->next.load(std::memory_order_acquire)) {
+    if (p->user_ptr == addr) return p;
+  }
+  return nullptr;
 }
 
 void DependencyAnalyzer::copy_back_latest(DataEntry& entry) {
-  Version* v = entry.latest;
+  Version* v = entry.latest.load(std::memory_order_acquire);
   SMPSS_ASSERT(v->is_produced());
-  SMPSS_ASSERT(v->bytes() == entry.bytes);
+  SMPSS_ASSERT(v->bytes() == entry.bytes.load(std::memory_order_relaxed));
   if (v->storage() != entry.user_ptr) {
     std::memcpy(entry.user_ptr, v->storage(), v->bytes());
-    shard_for(entry.user_ptr).counters.copyback_bytes += v->bytes();
+    stripes_[0].copyback_bytes.fetch_add(v->bytes(),
+                                         std::memory_order_relaxed);
   }
 }
 
-DependencyAnalyzer::Counters DependencyAnalyzer::counters_snapshot(
-    bool lock) const {
-  Counters out;
-  for (unsigned s = 0; s <= shard_mask_; ++s) {
-    const Shard& sh = shards_[s];
-    if (lock) {
-      std::lock_guard<std::mutex> lk(sh.mu);
-      out += sh.counters;
-    } else {
-      out += sh.counters;
+DependencyAnalyzer::CopyBack DependencyAnalyzer::try_copy_back_lockfree(
+    const void* addr) {
+  DataEntry* e = find(addr);
+  if (e == nullptr) return CopyBack::kUntracked;
+  CounterStripe& st = stripes_[0];
+  // Pin the head as a reader: any writer racing in must now see
+  // readers_pending > 0 and rename, so the bytes we copy from stay stable
+  // for the duration of the pin.
+  Version* v = pin_latest(st, /*task=*/nullptr, *e);
+  const bool ready =
+      v->is_produced() &&
+      e->user_storage_pending.load(std::memory_order_acquire) == 0;
+  if (ready) {
+    void* s = v->storage_wait();
+    if (s != e->user_ptr) {
+      std::memcpy(e->user_ptr, s, v->bytes());
+      st.copyback_bytes.fetch_add(v->bytes(), std::memory_order_relaxed);
     }
   }
+  v->reader_finished(pool_);
+  return ready ? CopyBack::kDone : CopyBack::kNotReady;
+}
+
+DependencyAnalyzer::Counters DependencyAnalyzer::counters_snapshot() const {
+  Counters out;
+  for (unsigned i = 0; i < kStripes; ++i) {
+    const CounterStripe& st = stripes_[i];
+    out.accesses += st.accesses.load(std::memory_order_relaxed);
+    out.raw_edges += st.raw_edges.load(std::memory_order_relaxed);
+    out.war_edges += st.war_edges.load(std::memory_order_relaxed);
+    out.waw_edges += st.waw_edges.load(std::memory_order_relaxed);
+    out.in_place_reuses +=
+        st.in_place_reuses.load(std::memory_order_relaxed);
+    out.copy_ins += st.copy_ins.load(std::memory_order_relaxed);
+    out.copy_in_bytes += st.copy_in_bytes.load(std::memory_order_relaxed);
+    out.copyback_bytes += st.copyback_bytes.load(std::memory_order_relaxed);
+    out.tracked_objects +=
+        st.tracked_objects.load(std::memory_order_relaxed);
+    out.cas_retries += st.cas_retries.load(std::memory_order_relaxed);
+  }
   return out;
+}
+
+std::size_t DependencyAnalyzer::live_entries() const noexcept {
+  std::size_t n = 0;
+  for (unsigned s = 0; s <= shard_mask_; ++s) {
+    for (const auto& bucket : shards_[s].buckets) {
+      for (DataEntry* p = bucket.load(std::memory_order_acquire); p != nullptr;
+           p = p->next.load(std::memory_order_acquire)) {
+        ++n;
+      }
+    }
+  }
+  return n;
 }
 
 }  // namespace smpss

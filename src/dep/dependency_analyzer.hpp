@@ -9,31 +9,45 @@
 // disabled (an ablation the paper argues against) anti- and output-
 // dependency edges are inserted instead.
 //
-// Sharding: the per-datum tables are split into `shard_count` hash-sharded
-// maps, each with its own mutex, so concurrent submitters only serialize
-// when their footprints collide on a shard — per-datum version-chain order,
-// not a global submission order, is what dependency correctness rests on.
-// The shard mutexes are *not* taken here: the Runtime acquires every shard a
-// task touches up front, in index order (two-phase locking, see
-// Runtime::analyze_accesses), which makes each whole-task analysis atomic
-// with respect to any other task sharing a shard and keeps the graph
-// acyclic. In the paper-faithful single-submitter configuration the
-// Runtime skips the locks entirely and calls straight in.
+// Concurrency: the per-datum tables are hash-sharded. In the lock-free
+// configuration (SMPSS_DEP_LOCKFREE, the default with renaming + nested
+// submitters) submission takes no mutex at all:
 //
-// Workers interact with the data this class creates only via the atomic
-// tokens on TaskNode/Version, which is why the hazard probes here
-// (readers_pending / is_produced) stay correct while tasks retire
-// concurrently: pending-reader counts only shrink and produced flags only
-// rise, so a stale read can at worst cause a spurious rename, never a
-// missed hazard.
+//   * the entry table is a per-shard array of CAS-prepend bucket chains
+//     (entries are address-stable and only reclaimed at flush, which
+//     requires quiescence);
+//   * a reader pins the chain head speculatively — register first, then
+//     validate `latest` is unchanged, retrying on a lost race;
+//   * a writer publishes its new version by CAS on `DataEntry::latest`
+//     *before* deciding between in-place reuse and renaming; the CAS
+//     transfers the superseded version's latest-token to the writer, whose
+//     subsequent hazard probes (readers_pending / is_produced) are paired
+//     seq_cst with the reader's registration protocol so a just-registered
+//     reader is never missed. Readers of the new version spin past the
+//     storage-unresolved window (Version::storage_wait).
+//
+//   Version reclamation rides on the slab pool's type-stable blocks and
+//   generation counters: see the scheme comment atop dep/version.hpp.
+//
+// In the locked fallback (SMPSS_DEP_LOCKFREE=0, or whenever renaming is
+// off) each shard has a mutex which the Runtime acquires for every shard a
+// task touches up front, in index order (two-phase locking, see
+// Runtime::analyze_accesses). The same version-publication code runs under
+// the locks — uncontended, the CASes always succeed first try. In the
+// paper-faithful single-submitter configuration the Runtime skips the locks
+// entirely and calls straight in.
+//
+// Counters are striped by submitting thread (no shared hot line) and summed
+// on snapshot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 
 #include "common/cache.hpp"
+#include "common/slab_pool.hpp"
 #include "dep/access.hpp"
 #include "dep/renaming.hpp"
 #include "dep/version.hpp"
@@ -54,6 +68,7 @@ class DependencyAnalyzer {
     std::uint64_t copy_in_bytes = 0;
     std::uint64_t copyback_bytes = 0; // barrier/wait_on realignment copies
     std::uint64_t tracked_objects = 0;
+    std::uint64_t cas_retries = 0;    // lost publication/pin races (lock-free)
 
     Counters& operator+=(const Counters& o) noexcept {
       accesses += o.accesses;
@@ -65,38 +80,47 @@ class DependencyAnalyzer {
       copy_in_bytes += o.copy_in_bytes;
       copyback_bytes += o.copyback_bytes;
       tracked_objects += o.tracked_objects;
+      cas_retries += o.cas_retries;
       return *this;
     }
   };
 
+  /// `owner_slots`/`cache_blocks` size the type-stable version pool (same
+  /// slot scheme as the TaskArena: one slot per submitting thread).
+  /// `lockfree` selects CAS publication without shard mutexes; requires
+  /// renaming (the no-renaming ablation records reader task lists, which
+  /// need the submission lock).
   DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
-                     unsigned shard_count, GraphRecorder* recorder);
+                     unsigned shard_count, GraphRecorder* recorder,
+                     unsigned owner_slots, unsigned cache_blocks,
+                     bool lockfree);
 
   DependencyAnalyzer(const DependencyAnalyzer&) = delete;
   DependencyAnalyzer& operator=(const DependencyAnalyzer&) = delete;
 
   ~DependencyAnalyzer();
 
-  // --- sharding (two-phase acquisition is the Runtime's job) ----------------
+  bool lockfree() const noexcept { return lockfree_; }
+
+  // --- sharding (two-phase acquisition is the Runtime's job; locked mode) ---
 
   unsigned shard_count() const noexcept { return shard_mask_ + 1; }
 
   /// Shard index owning `addr`. Stable for the analyzer's lifetime.
   unsigned shard_of(const void* addr) const noexcept {
-    // Fibonacci hash over the address with the low alignment bits dropped;
-    // neighbouring allocations land on different shards.
-    auto p = reinterpret_cast<std::uintptr_t>(addr) >> 4;
-    return static_cast<unsigned>(
-               (static_cast<std::uint64_t>(p) * 0x9E3779B97F4A7C15ull) >> 32) &
-           shard_mask_;
+    return static_cast<unsigned>(hash_of(addr) >> 32) & shard_mask_;
   }
 
   /// The mutex guarding shard `s`. Lock shards in increasing index order.
+  /// Unused (never taken) in the lock-free configuration.
   std::mutex& shard_mutex(unsigned s) const noexcept {
     return shards_[s].mu;
   }
 
-  // --- analysis (callers hold the owning shard's mutex in concurrent mode) --
+  // --- analysis -------------------------------------------------------------
+  // Lock-free mode: callable concurrently from any submitter, no locks held.
+  // Locked mode: callers hold the owning shard's mutex (or are the sole
+  // submitter).
 
   /// Analyze one directional parameter of `task`: wire dependency edges,
   /// create/supersede versions, decide renaming. Returns the storage the
@@ -108,58 +132,111 @@ class DependencyAnalyzer {
   void flush_all();
 
   /// Lookup for wait_on(); nullptr when the address was never tracked.
+  /// Lock-free (prepend-only chains), safe in both modes.
   DataEntry* find(const void* addr);
 
   /// Copy the latest version's bytes back into user storage (no state
   /// change; chain stays intact so later tasks keep their versions).
   /// Requires the latest version to be produced and user storage quiescent.
+  /// Locked-mode wait_on path: the caller holds the shard mutex.
   void copy_back_latest(DataEntry& entry);
+
+  /// Lock-free wait_on step: pin the latest version (forcing concurrent
+  /// writers to rename, so the copy source stays stable), and copy it back
+  /// if it is produced and user storage is quiescent.
+  enum class CopyBack { kUntracked, kNotReady, kDone };
+  CopyBack try_copy_back_lockfree(const void* addr);
 
   /// True if this address is currently tracked (used to diagnose mixing of
   /// address-mode and region-mode access on one array).
-  bool tracks(const void* addr) const {
-    const Shard& sh = shards_[shard_of(addr)];
-    return sh.entries.find(addr) != sh.entries.end();
-  }
+  bool tracks(const void* addr) { return find(addr) != nullptr; }
 
   // --- introspection --------------------------------------------------------
 
-  /// Aggregate the per-shard counters. With `lock` the snapshot synchronizes
-  /// on each shard mutex in turn (concurrent-submitter mode); without it the
-  /// read assumes the single-submitter discipline.
-  Counters counters_snapshot(bool lock) const;
+  /// Sum the per-thread counter stripes. Safe concurrently in both modes.
+  Counters counters_snapshot() const;
 
-  std::size_t live_entries() const noexcept {
-    std::size_t n = 0;
-    for (unsigned s = 0; s <= shard_mask_; ++s) n += shards_[s].entries.size();
-    return n;
-  }
+  std::size_t live_entries() const noexcept;
 
  private:
-  /// One stripe of the datum table: its own map, mutex, and counters, padded
-  /// so concurrent submitters on different shards never share a cache line.
+  /// Per-submitting-thread counter stripe: plain atomic bumps, no shared
+  /// cache line between concurrent submitters.
+  struct alignas(kCacheLineSize) CounterStripe {
+    std::atomic<std::uint64_t> accesses{0};
+    std::atomic<std::uint64_t> raw_edges{0};
+    std::atomic<std::uint64_t> war_edges{0};
+    std::atomic<std::uint64_t> waw_edges{0};
+    std::atomic<std::uint64_t> in_place_reuses{0};
+    std::atomic<std::uint64_t> copy_ins{0};
+    std::atomic<std::uint64_t> copy_in_bytes{0};
+    std::atomic<std::uint64_t> copyback_bytes{0};
+    std::atomic<std::uint64_t> tracked_objects{0};
+    std::atomic<std::uint64_t> cas_retries{0};
+  };
+  static constexpr unsigned kStripes = 16;  // power of two
+
+  static constexpr unsigned kBucketsPerShard = 64;  // power of two
+
+  /// One stripe of the datum table: a small bucket array of CAS-prepend
+  /// entry chains, plus the mutex the locked configuration's two-phase
+  /// acquisition uses. Padded so submitters on different shards never share
+  /// a cache line.
   struct alignas(kCacheLineSize) Shard {
     mutable std::mutex mu;
-    std::unordered_map<const void*, DataEntry> entries;
-    Counters counters;
+    std::atomic<DataEntry*> buckets[kBucketsPerShard] = {};
   };
+
+  static std::uint64_t hash_of(const void* addr) noexcept {
+    // Fibonacci hash over the address with the low alignment bits dropped;
+    // neighbouring allocations land on different shards. Shard and bucket
+    // indices take disjoint bit ranges of the same product.
+    auto p = reinterpret_cast<std::uintptr_t>(addr) >> 4;
+    return static_cast<std::uint64_t>(p) * 0x9E3779B97F4A7C15ull;
+  }
+  static unsigned bucket_of_hash(std::uint64_t h) noexcept {
+    return static_cast<unsigned>(h >> 20) & (kBucketsPerShard - 1);
+  }
 
   Shard& shard_for(const void* addr) noexcept {
     return shards_[shard_of(addr)];
   }
+  CounterStripe& stripe_for(std::uint32_t slot) noexcept {
+    return stripes_[slot & (kStripes - 1)];
+  }
 
-  DataEntry& entry_for(Shard& sh, void* addr, std::size_t bytes);
-  void add_edge(Shard& sh, TaskNode* pred, TaskNode* succ, EdgeKind kind);
-  void* process_read(Shard& sh, TaskNode* task, DataEntry& e,
+  static void fetch_max(std::atomic<std::size_t>& a, std::size_t v) noexcept {
+    std::size_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(cur, v,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  DataEntry& entry_for(CounterStripe& st, unsigned slot, void* addr,
+                       std::size_t bytes);
+  void add_edge(CounterStripe& st, TaskNode* pred, TaskNode* succ,
+                EdgeKind kind);
+  /// Speculatively pin the chain head as a reader: register (count + ref)
+  /// first, then validate `latest` is unchanged; on a lost race the
+  /// registration is aborted (net-zero even on a recycled block) and the
+  /// pin retries against the new head.
+  Version* pin_latest(CounterStripe& st, TaskNode* task, DataEntry& e);
+  void* process_read(CounterStripe& st, TaskNode* task, DataEntry& e,
                      std::size_t bytes);
-  void* process_write(Shard& sh, TaskNode* task, DataEntry& e,
-                      std::size_t bytes, bool also_reads);
+  void* process_write(CounterStripe& st, unsigned slot, TaskNode* task,
+                      DataEntry& e, std::size_t bytes, bool also_reads);
+  void* process_write_lockfree(CounterStripe& st, unsigned slot,
+                               TaskNode* task, DataEntry& e, std::size_t bytes,
+                               bool also_reads);
 
   RenamePool& pool_;
   bool renaming_;
+  bool lockfree_;
   GraphRecorder* recorder_;
   unsigned shard_mask_;  // shard count is a power of two
   std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<CounterStripe[]> stripes_;
+  SlabPool vpool_;  ///< type-stable Version blocks (see dep/version.hpp)
 };
 
 }  // namespace smpss

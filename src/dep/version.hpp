@@ -13,13 +13,40 @@
 // When the count drops to zero the version is destroyed and renamed storage
 // is returned to the rename pool. This gives the eager reclamation the paper
 // relies on to keep renamed-memory bounded.
+//
+// Lock-free chain support (SMPSS_DEP_LOCKFREE): versions are allocated from
+// a type-stable SlabPool and their two synchronization counters (refs,
+// pending readers) live in a per-block prefix cell that SURVIVES tenancies —
+// the pool recycles the block but never reinitializes the counters. A reader
+// pins the chain head speculatively (increment first, then validate that the
+// entry's latest pointer is unchanged); if the version died in between, the
+// increments landed on recycled type-stable memory and the compensating
+// decrements make the excursion net-zero. Two invariants make that safe:
+//
+//   * dead blocks idle at kDeadBias, live tenancies at >= 1, and the
+//     1 -> kDeadBias "last reference" transition is one CAS — the count is
+//     never observed at 0, so a phantom decrement can only be the genuine
+//     last release of a live tenancy (it frees correctly) and can never
+//     double-free a dead block;
+//   * the counters are revived with fetch_add (never a store), so phantom
+//     increments in flight across a reallocation stay counted.
+//
+// Pending-reader increments and the retiring writer's pending-reader read
+// are seq_cst: paired with the seq_cst CAS that publishes a new latest
+// version, this is the Dekker-style guarantee that a writer which swung the
+// chain head sees every reader that validated against the old head — a
+// just-registered reader can never be missed (the in-place-reuse hazard the
+// ISSUE's ordering bugfix covers).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/check.hpp"
+#include "common/slab_pool.hpp"
 #include "common/small_vector.hpp"
+#include "common/spin.hpp"
 #include "graph/task.hpp"
 
 namespace smpss {
@@ -30,19 +57,78 @@ struct SubmitterAccount;  // dep/renaming.hpp
 
 class Version {
  public:
-  /// Creates a version holding the latest-token (refs=1) plus a producer
-  /// token if `producer` is non-null (refs=2). Takes a strong ref on the
-  /// producer task. `account` (nullable) is the submitter account the
+  /// The per-block persistent counter cell: constructed exactly once, on the
+  /// block's first tenancy, and only ever mutated with read-modify-writes
+  /// afterwards (see file comment).
+  struct RefCell {
+    std::atomic<int> refs;
+    std::atomic<int> readers_pending;
+  };
+
+  /// Block layout: [RefCell prefix][Version body]. The prefix is padded to
+  /// keep the body at max_align.
+  static constexpr std::size_t kPrefixBytes = alignof(std::max_align_t);
+  static_assert(sizeof(RefCell) <= kPrefixBytes);
+
+  /// Resting refcount of a dead block. Any value a live tenancy can reach
+  /// (real tokens + transient speculative pins) stays far below it.
+  static constexpr int kDeadBias = 1 << 29;
+
+  /// Storage sentinel of a version published by CAS before its renaming
+  /// decision was made; readers spin in storage_wait() until the winning
+  /// writer calls finalize_storage().
+  static void* unresolved_storage() noexcept {
+    return reinterpret_cast<void*>(std::uintptr_t{1});
+  }
+
+  /// Pool block size for a Version (prefix + body).
+  static constexpr std::size_t block_bytes() noexcept;
+
+  /// Allocate + construct a version on `vpool` with the latest-token
+  /// (refs=1) plus a producer token if `producer` is non-null (refs=2);
+  /// takes a strong ref on the producer task. `slot` is the submitting
+  /// thread's pool slot. `account` (nullable) is the submitter account the
   /// renamed storage was charged to; the credit is issued when this version
   /// frees the buffer — possibly long after the submitting stream drained,
   /// which is why stream accounts are pinned for the runtime's life.
-  Version(DataEntry* entry, void* storage, std::size_t bytes, bool renamed,
-          TaskNode* producer, SubmitterAccount* account = nullptr);
+  static Version* create(SlabPool& vpool, unsigned slot, DataEntry* entry,
+                         void* storage, std::size_t bytes, bool renamed,
+                         TaskNode* producer,
+                         SubmitterAccount* account = nullptr);
 
   Version(const Version&) = delete;
   Version& operator=(const Version&) = delete;
 
-  void* storage() const noexcept { return storage_; }
+  /// Current storage pointer; unresolved_storage() while a concurrent writer
+  /// is still deciding between in-place reuse and renaming.
+  void* storage() const noexcept {
+    return storage_.load(std::memory_order_acquire);
+  }
+
+  /// Storage pointer, spinning past the unresolved window. Must be called
+  /// before reading bytes()/renamed()/account() of a version another thread
+  /// may have published: finalize_storage() is the release that makes those
+  /// fields stable.
+  void* storage_wait() const noexcept {
+    void* s = storage_.load(std::memory_order_acquire);
+    while (s == unresolved_storage()) {
+      cpu_relax();
+      s = storage_.load(std::memory_order_acquire);
+    }
+    return s;
+  }
+
+  /// The winning writer's publication of the renaming decision: storage,
+  /// final extent, ownership and the account charged. Release-paired with
+  /// storage_wait().
+  void finalize_storage(void* s, std::size_t bytes, bool renamed,
+                        SubmitterAccount* acct) noexcept {
+    bytes_ = bytes;
+    renamed_ = renamed;
+    account_ = acct;
+    storage_.store(s, std::memory_order_release);
+  }
+
   std::size_t bytes() const noexcept { return bytes_; }
   bool renamed() const noexcept { return renamed_; }
   SubmitterAccount* account() const noexcept { return account_; }
@@ -56,26 +142,44 @@ class Version {
     produced_.store(true, std::memory_order_release);
   }
 
-  // --- reader registration (submission order) -------------------------------
+  // --- reader registration --------------------------------------------------
 
-  /// Register `reader` as a pending reader: bumps the pending count, takes a
-  /// lifetime ref on this version and a strong ref on the reader task (the
-  /// task pointer is needed later for WAR edges when renaming is disabled).
-  void register_reader(TaskNode* reader) {
-    readers_pending_.fetch_add(1, std::memory_order_relaxed);
-    refs_.fetch_add(1, std::memory_order_relaxed);
-    reader->add_ref();
-    reader_tasks_.push_back(reader);
+  /// Register `reader` as a pending reader: bumps the pending count and
+  /// takes a lifetime ref on this version. The pending-count increment is
+  /// seq_cst — the write half of the Dekker pairing with the retiring
+  /// writer's readers_pending() probe (a relaxed increment here could let an
+  /// in-place-reusing writer miss a just-registered reader). `record_task`
+  /// additionally takes a strong ref on the reader task and records it for
+  /// WAR edges — needed only with renaming disabled, where the recording is
+  /// serialized by the submission lock (the lock-free chain requires
+  /// renaming and never touches the vector).
+  void register_reader(TaskNode* reader, bool record_task) {
+    rc().refs.fetch_add(1, std::memory_order_relaxed);
+    rc().readers_pending.fetch_add(1, std::memory_order_seq_cst);
+    if (record_task) {
+      reader->add_ref();
+      reader_tasks_.push_back(reader);
+    }
   }
 
-  /// Pending readers right now (submission-side decision input; workers
-  /// only ever decrement, so a nonzero answer can only shrink).
+  /// Undo a speculative registration that failed chain-head validation (the
+  /// version was superseded — or died and was recycled — between the load
+  /// and the pin). Identical to a reader finishing: the pair is net-zero on
+  /// whatever tenancy the counters belong to now.
+  void abort_reader_registration(RenamePool& pool) noexcept {
+    reader_finished(pool);
+  }
+
+  /// Pending readers right now. seq_cst: the read half of the Dekker pairing
+  /// (see register_reader) — a writer that just swung the chain head and
+  /// reads 0 here is guaranteed no reader can still validate against the
+  /// superseded version.
   int readers_pending() const noexcept {
-    return readers_pending_.load(std::memory_order_acquire);
+    return rc().readers_pending.load(std::memory_order_seq_cst);
   }
 
   /// Submission-order view of recorded reader tasks (WAR edges in the
-  /// no-renaming configuration).
+  /// no-renaming configuration; submission-lock serialized).
   const SmallVector<TaskNode*, 4>& reader_tasks() const noexcept {
     return reader_tasks_;
   }
@@ -84,52 +188,74 @@ class Version {
 
   /// A reading task finished: drop its pending-reader mark, then its ref.
   void reader_finished(RenamePool& pool) noexcept {
-    readers_pending_.fetch_sub(1, std::memory_order_acq_rel);
+    rc().readers_pending.fetch_sub(1, std::memory_order_acq_rel);
     release(pool);
   }
 
-  /// Drop one lifetime reference; destroys the version at zero.
+  /// Take one additional lifetime reference (spectulative pins go through
+  /// register_reader; this is for already-validated holders).
+  void add_ref() noexcept { rc().refs.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drop one lifetime reference; destroys the version at zero. The last
+  /// reference transitions the persistent count 1 -> kDeadBias in a single
+  /// CAS, so the block is never observed at 0 (see file comment).
   void release(RenamePool& pool) noexcept;
 
   /// Transfer storage ownership out of this version (used when a successor
   /// version reuses the same bytes in place): the buffer will no longer be
-  /// freed when this version dies. Submission order only, while holding the
-  /// latest token.
+  /// freed when this version dies. Only the (unique) superseding writer may
+  /// call this, and only after observing readers_pending() == 0.
   void disown_storage() noexcept { renamed_ = false; }
 
  private:
+  Version(DataEntry* entry, void* storage, std::size_t bytes, bool renamed,
+          TaskNode* producer, SubmitterAccount* account, SlabPool* vpool);
   ~Version();
 
+  RefCell& rc() const noexcept {
+    return *reinterpret_cast<RefCell*>(
+        reinterpret_cast<char*>(const_cast<Version*>(this)) - kPrefixBytes);
+  }
+
   DataEntry* entry_;
-  void* storage_;
+  std::atomic<void*> storage_;
   std::size_t bytes_;
   bool renamed_;
   SubmitterAccount* account_;  // stream charged for renamed storage, or null
   TaskNode* producer_;  // strong ref; null for initial versions
+  SlabPool* vpool_;     // the type-stable pool this block came from
   std::atomic<bool> produced_;
-  std::atomic<int> readers_pending_{0};
-  std::atomic<int> refs_;
   SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, submission-order writes
 };
 
+constexpr std::size_t Version::block_bytes() noexcept {
+  return kPrefixBytes + sizeof(Version);
+}
+
 /// Per-datum bookkeeping (address-mode analysis). Entries live in the
-/// analyzer's hash-sharded unordered_maps (one map + mutex per shard);
-/// unordered_map guarantees reference stability so versions can point back
-/// at their entry. Mutation is guarded by the owning shard's mutex when
-/// submitters are concurrent.
+/// analyzer's lock-free chained hash table (per-shard bucket arrays with
+/// CAS-insert; see DependencyAnalyzer) and are address-stable for the phase:
+/// versions point back at their entry, and entries are only freed at
+/// flush_all(), which requires quiescence.
 struct DataEntry {
   void* user_ptr = nullptr;  ///< the address the program passes to tasks
   /// Largest extent ever *written* at this address. Invariant: the latest
   /// version always covers all of it (smaller writes inherit the
   /// predecessor's tail), so copying back `latest` alone restores the
-  /// datum — see DependencyAnalyzer::process_write.
-  std::size_t bytes = 0;
-  Version* latest = nullptr; ///< owns the latest-token
+  /// datum — see DependencyAnalyzer::process_write. Maintained with
+  /// fetch-max under concurrent writers.
+  std::atomic<std::size_t> bytes{0};
+  /// The chain head (owns the latest-token). Swung by CAS on the lock-free
+  /// path; plain release stores under the shard mutex otherwise.
+  std::atomic<Version*> latest{nullptr};
 
   /// Count of unfinished accesses whose storage is the *user* buffer.
   /// wait_on() needs user storage quiescent before copying a renamed latest
   /// version back into it.
   std::atomic<int> user_storage_pending{0};
+
+  /// Hash-chain link (prepend-only until flush).
+  std::atomic<DataEntry*> next{nullptr};
 };
 
 }  // namespace smpss

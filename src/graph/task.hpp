@@ -54,6 +54,17 @@ struct CopyIn {
   std::size_t bytes;
 };
 
+class TaskNode;
+
+/// One edge of a predecessor's lock-free successor stack. Allocated from the
+/// arena's edge pool (or new/delete without pooling) by the submitting thread
+/// that discovered the dependence; freed by whichever worker completes the
+/// predecessor and walks the stack.
+struct SuccLink {
+  TaskNode* succ;
+  SuccLink* next;
+};
+
 class TaskNode {
  public:
   /// Inline closure storage. Typical closures hold a function pointer plus a
@@ -66,6 +77,16 @@ class TaskNode {
   TaskNode& operator=(const TaskNode&) = delete;
 
   ~TaskNode() {
+    // A task destroyed without ever completing (abandoned runtime teardown)
+    // still owns its edge links.
+    SuccLink* l = succ_head_.load(std::memory_order_relaxed);
+    if (l != closed_sentinel()) {
+      while (l != nullptr) {
+        SuccLink* next = l->next;
+        free_succ_link(l);
+        l = next;
+      }
+    }
     if (vtable_) vtable_->destroy(closure_);
     if (closure_ && closure_ != inline_buf_) {
       if (closure_pooled_) {
@@ -132,31 +153,63 @@ class TaskNode {
   /// Add a true-dependency edge this→succ unless this task already
   /// completed. Returns true if the edge was recorded (succ's pending count
   /// was incremented by the caller's thread).
+  ///
+  /// Lock-free: the successor list is a Treiber stack of SuccLink nodes
+  /// closed by a sentinel at completion. The successor's pending count is
+  /// raised BEFORE the link is published, so the completing walker's
+  /// decrement can never outrun the increment; if the stack turns out to be
+  /// closed the increment is compensated — safe because the caller (the
+  /// thread submitting `succ`) still holds succ's creation guard, so the
+  /// count cannot reach zero here.
   bool add_successor(TaskNode* succ) {
-    succ_lock_.lock();
-    bool added = !completed_;
-    if (added) {
-      successors_.push_back(succ);
-      succ->pending_deps.fetch_add(1, std::memory_order_acq_rel);
+    SuccLink* head = succ_head_.load(std::memory_order_acquire);
+    if (head == closed_sentinel()) return false;
+    succ->pending_deps.fetch_add(1, std::memory_order_acq_rel);
+    SuccLink* link;
+    if (TaskArena* a = arena) {
+      link = static_cast<SuccLink*>(a->edges.allocate(succ->submit_slot));
+    } else {
+      link = new SuccLink;
     }
-    succ_lock_.unlock();
-    return added;
+    link->succ = succ;
+    while (true) {
+      if (head == closed_sentinel()) {
+        free_succ_link(link);
+        const std::int32_t prev =
+            succ->pending_deps.fetch_sub(1, std::memory_order_acq_rel);
+        SMPSS_ASSERT(prev > 1);  // creation guard still held by the caller
+        (void)prev;
+        return false;
+      }
+      link->next = head;
+      if (succ_head_.compare_exchange_weak(head, link,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire))
+        return true;
+    }
   }
 
-  /// Completion: mark done and hand the successor list to the caller, which
+  /// Completion: swing the stack head to the closed sentinel (one atomic
+  /// exchange — no lock) and hand the successor list to the caller, which
   /// decrements each successor's pending count exactly once per edge.
   SmallVector<TaskNode*, 4> take_successors_and_complete() {
-    succ_lock_.lock();
-    completed_ = true;
-    SmallVector<TaskNode*, 4> out = std::move(successors_);
-    succ_lock_.unlock();
-    finished_hint_.store(true, std::memory_order_release);
+    SmallVector<TaskNode*, 4> out;
+    SuccLink* l = succ_head_.exchange(closed_sentinel(),
+                                      std::memory_order_acq_rel);
+    while (l != nullptr) {
+      SuccLink* next = l->next;
+      out.push_back(l->succ);
+      free_succ_link(l);
+      l = next;
+    }
     return out;
   }
 
-  /// Relaxed completion hint for lock-free pruning of region access lists.
+  /// Completion hint for lock-free pruning: true once the successor stack is
+  /// closed — a closed stack can never accept another edge, so a true answer
+  /// lets add_edge skip the RMW on the retired producer's stack head.
   bool finished_hint() const noexcept {
-    return finished_hint_.load(std::memory_order_acquire);
+    return succ_head_.load(std::memory_order_acquire) == closed_sentinel();
   }
 
   // --- data (filled by the dependency analyzer on the main thread) ---------
@@ -210,6 +263,10 @@ class TaskNode {
 
   std::uint64_t seq = 0;           ///< invocation order, 1-based (Fig. 5)
   std::uint32_t type_id = 0;
+  /// Pool slot of the submitting thread (kForeignTid routes to the foreign
+  /// slot). Edge links and data versions created while wiring this task's
+  /// dependencies allocate from this slot.
+  std::uint32_t submit_slot = 0;
   bool high_priority = false;
 
   // --- service mode (only set for stream-submitted tasks) --------------------
@@ -239,11 +296,20 @@ class TaskNode {
   std::uint32_t generation = 0;
 
  private:
+  static SuccLink* closed_sentinel() noexcept {
+    return reinterpret_cast<SuccLink*>(std::uintptr_t{1});
+  }
+
+  void free_succ_link(SuccLink* l) noexcept {
+    if (TaskArena* a = arena)
+      a->edges.deallocate(l);
+    else
+      delete l;
+  }
+
   std::atomic<std::int32_t> refs_{1};
-  SpinLock succ_lock_;
-  bool completed_ = false;                   // guarded by succ_lock_
-  SmallVector<TaskNode*, 4> successors_;     // guarded by succ_lock_
-  std::atomic<bool> finished_hint_{false};
+  /// Lock-free successor stack; closed_sentinel() once completed.
+  std::atomic<SuccLink*> succ_head_{nullptr};
 
   const ClosureVTable* vtable_ = nullptr;
   void* closure_ = nullptr;

@@ -9,6 +9,8 @@
 //   SMPSS_RENAMING          0/1 — disable/enable renaming
 //   SMPSS_NESTED            0/1 — real nested tasks instead of inlining
 //   SMPSS_DEP_SHARDS        dependency-table shards (1 = global lock)
+//   SMPSS_DEP_LOCKFREE      0/1 — CAS version-chain publication (no shard
+//                           mutexes on submit; needs renaming + nested)
 //   SMPSS_CHAIN_DEPTH       max chained executions per acquire (0 = off)
 //   SMPSS_POOL_CACHE        task-pool blocks cached per worker (0 = malloc)
 //   SMPSS_SCHEDULER         distributed | centralized
@@ -64,6 +66,15 @@ struct Config {
   /// 0 = auto (64); values round up to a power of two; 1 reproduces the
   /// global-submission-lock behavior (the bench baseline).
   unsigned dep_shards = 0;
+
+  /// Lock-free dependency pipeline: publish version-chain heads by CAS and
+  /// take no shard mutex on the in/out/inout submission path (see
+  /// dep/dependency_analyzer.hpp). Only meaningful with nested_tasks
+  /// (single-submitter runs take no locks either way) and requires renaming
+  /// (the no-renaming ablation's reader lists need the submission lock);
+  /// normalize() clears it when either precondition is missing. The shards
+  /// stay as the hash layout of the entry table in both modes.
+  bool dep_lockfree = true;
 
   /// Immediate-successor chaining bound: when completing a task releases
   /// exactly one successor (and no high-priority task is pending), the

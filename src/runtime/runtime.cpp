@@ -22,7 +22,9 @@ Runtime::Runtime(Config cfg)
                                                cfg_.pool_cache)
                  : nullptr),
       pool_(cfg_.rename_memory_limit),
-      dep_(pool_, cfg_.renaming, cfg_.dep_shards, &recorder_),
+      dep_(pool_, cfg_.renaming, cfg_.dep_shards, &recorder_,
+           cfg_.num_threads, cfg_.pool_cache > 0 ? cfg_.pool_cache : 64,
+           cfg_.dep_lockfree),
       regions_(&recorder_),
       ready_(cfg_.num_threads, cfg_.scheduler_mode, cfg_.steal_order) {
   recorder_.set_enabled(cfg_.record_graph);
@@ -154,7 +156,33 @@ void Runtime::begin_submission(TaskNode* t) {
 
 void Runtime::analyze_accesses(TaskNode* t, const AccessDesc* descs,
                                std::size_t n) {
-  // Two-phase shard acquisition. Every shard this task's footprint hashes
+  if (dep_.lockfree()) {
+    // Lock-free pipeline: no shard mutexes at all — per-datum consistency
+    // comes from CAS publication on each chain head (see
+    // dep/dependency_analyzer.hpp). Only the region table keeps its rwlock;
+    // address-only submissions skip even the shared side while the region
+    // table has never been touched.
+    bool any_region = false;
+    for (std::size_t i = 0; i < n; ++i) any_region |= descs[i].has_region;
+    const bool check_regions = any_region || regions_.maybe_tracking();
+    if (n != 0 && check_regions) {
+      if (any_region)
+        region_mu_.lock();
+      else
+        region_mu_.lock_shared();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      t->resolved.push_back(route_access(t, descs[i], check_regions));
+    if (n != 0 && check_regions) {
+      if (any_region)
+        region_mu_.unlock();
+      else
+        region_mu_.unlock_shared();
+    }
+    return;
+  }
+  // Two-phase shard acquisition (SMPSS_DEP_LOCKFREE=0 fallback, and the
+  // no-renaming ablation). Every shard this task's footprint hashes
   // to is locked up front, in increasing index order (deadlock-free), and
   // held until the whole analysis is done. That makes each submission
   // atomic with respect to any other submission sharing a shard: two
@@ -204,11 +232,18 @@ unsigned Runtime::submitter_tid() const noexcept {
 }
 
 TaskNode* Runtime::allocate_task(unsigned alloc_slot) {
-  if (!arena_) return new TaskNode();
-  void* mem = arena_->nodes.allocate(alloc_slot);
-  TaskNode* t = ::new (mem) TaskNode();
-  t->arena = arena_.get();
-  t->generation = arena_->nodes.generation_of(mem);
+  TaskNode* t;
+  if (!arena_) {
+    t = new TaskNode();
+  } else {
+    void* mem = arena_->nodes.allocate(alloc_slot);
+    t = ::new (mem) TaskNode();
+    t->arena = arena_.get();
+    t->generation = arena_->nodes.generation_of(mem);
+  }
+  // The submitting thread's pool slot: successor-edge links and data
+  // versions created on this task's behalf allocate from it.
+  t->submit_slot = alloc_slot;
   return t;
 }
 
@@ -436,8 +471,14 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   // Retire data tokens: reader marks first (so WAR decisions see the truth),
   // then user-storage quiescence, then lifetime refs.
   for (Version* v : t->reads) v->reader_finished(pool_);
-  for (std::atomic<int>* slot : t->user_pending_slots)
-    slot->fetch_sub(1, std::memory_order_release);
+  for (std::atomic<int>* slot : t->user_pending_slots) {
+    // acq_rel (not plain release): wait_on's quiescence probe pairs with
+    // this decrement, and the count must never be observed below zero —
+    // each slot entry here is backed by exactly one increment at submission.
+    const int prev = slot->fetch_sub(1, std::memory_order_acq_rel);
+    SMPSS_ASSERT(prev > 0);
+    (void)prev;
+  }
   for (Version* v : t->produces) v->release(pool_);
 
   ++ws.counters.executed;
@@ -563,6 +604,22 @@ void Runtime::wait_on_addr(const void* addr) {
     while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
     return;
   }
+  if (dep_.lockfree()) {
+    // Lock-free peek: pin the latest version as a reader (so the copy
+    // source cannot be reused in place under us) and copy back once it is
+    // produced and user storage is quiescent.
+    while (true) {
+      switch (dep_.try_copy_back_lockfree(addr)) {
+        case DependencyAnalyzer::CopyBack::kUntracked:
+          return;  // never touched by a task: nothing to wait for
+        case DependencyAnalyzer::CopyBack::kDone:
+          return;
+        case DependencyAnalyzer::CopyBack::kNotReady:
+          help_once();
+          break;
+      }
+    }
+  }
   const unsigned shard = dep_.shard_of(addr);
   while (true) {
     {
@@ -571,7 +628,7 @@ void Runtime::wait_on_addr(const void* addr) {
       if (cfg_.nested_tasks) lk.lock();
       DataEntry* e = dep_.find(addr);
       if (!e) return;  // never written by a task: nothing to wait for
-      if (e->latest->is_produced() &&
+      if (e->latest.load(std::memory_order_acquire)->is_produced() &&
           e->user_storage_pending.load(std::memory_order_acquire) == 0) {
         dep_.copy_back_latest(*e);
         return;
@@ -611,13 +668,11 @@ StatsSnapshot Runtime::stats() const {
     }
     std::atomic_thread_fence(std::memory_order_seq_cst);
 
-    // The analyzer counters are plain fields guarded by the lock that guards
-    // their table: snapshot the dependency counters shard by shard and the
-    // region counters under the region rwlock (shared side) so a stats()
-    // call racing nested submitters stays well-defined. The single-submitter
-    // configuration skips the locks, as everywhere else.
-    const DependencyAnalyzer::Counters dc =
-        dep_.counters_snapshot(/*lock=*/cfg_.nested_tasks);
+    // The dependency counters are striped atomics now — summing them is
+    // safe against racing submitters in every mode. The region counters
+    // stay lock-guarded plain fields: snapshot under the region rwlock
+    // (shared side) when nested submitters may be mutating them.
+    const DependencyAnalyzer::Counters dc = dep_.counters_snapshot();
     RegionAnalyzer::Counters rc;
     {
       std::shared_lock<std::shared_mutex> lk(region_mu_, std::defer_lock);
@@ -635,6 +690,7 @@ StatsSnapshot Runtime::stats() const {
     s.copy_in_bytes = dc.copy_in_bytes;
     s.copyback_bytes = dc.copyback_bytes;
     s.tracked_objects = dc.tracked_objects;
+    s.lockfree_cas_retries = dc.cas_retries;
     s.region_accesses = rc.accesses;
 
     if (arena_) {

@@ -24,17 +24,22 @@
 //
 // With Config::nested_tasks (SMPSS_NESTED=1) the inline demotion is lifted:
 // spawn() is thread-safe and a spawn from inside a task creates a real child
-// task. Dependency analysis runs through an address-striped pipeline: the
-// per-datum tracking tables are hash-sharded (Config::dep_shards), each
-// submission locks only the shards its parameters fall in (acquired in
-// index order, held for the whole analysis — strict two-phase locking), and
-// task sequence numbers come from an atomic counter. Correctness rests on
+// task. Dependency analysis runs through an address-striped pipeline whose
+// default (Config::dep_lockfree, SMPSS_DEP_LOCKFREE) takes no mutex at all:
+// each datum's version-chain head is published by CAS and readers pin it
+// speculatively (see dep/dependency_analyzer.hpp), so the in/out/inout
+// submission path is lock-free end to end. The SMPSS_DEP_LOCKFREE=0
+// fallback (and the no-renaming ablation) keeps the PR-3 design: the
+// per-datum tables are hash-sharded (Config::dep_shards), each submission
+// locks only the shards its parameters fall in (acquired in index order,
+// held for the whole analysis — strict two-phase locking). Either way task
+// sequence numbers come from an atomic counter and correctness rests on
 // per-datum version-chain order, not on a global submission order: any two
-// submissions that share a datum share its shard and are therefore totally
-// ordered, which keeps the graph acyclic. The paper-faithful path never
-// takes any lock (single submitter). taskwait() suspends the calling task
-// until its direct children finished, executing other ready tasks
-// meanwhile; barrier/wait_on remain main-thread, outside-any-task calls.
+// submissions that share a datum are totally ordered at its chain head,
+// which keeps the graph acyclic. The paper-faithful path never takes any
+// lock (single submitter). taskwait() suspends the calling task until its
+// direct children finished, executing other ready tasks meanwhile;
+// barrier/wait_on remain main-thread, outside-any-task calls.
 #pragma once
 
 #include <atomic>
@@ -271,10 +276,13 @@ class Runtime {
   void* route_access(TaskNode* t, const AccessDesc& d,
                      bool check_region_table = true);
 
-  /// Concurrent-submitter analysis: lock the shards this footprint hashes to
-  /// (in index order), plus the region table (shared for address-only
-  /// tasks), run every per-datum analysis, release. Strict two-phase
-  /// locking: any two submissions sharing a shard are totally ordered.
+  /// Concurrent-submitter analysis. Lock-free mode: run every per-datum
+  /// analysis straight in (CAS chain publication; only the region rwlock is
+  /// taken, and only when region tracking is live). Locked fallback: lock
+  /// the shards this footprint hashes to (in index order), plus the region
+  /// table (shared for address-only tasks), run the analysis, release —
+  /// strict two-phase locking, any two submissions sharing a shard are
+  /// totally ordered.
   void analyze_accesses(TaskNode* t, const AccessDesc* descs, std::size_t n);
 
   /// Hook up the parent link, assign the (atomic) sequence number, record

@@ -77,6 +77,7 @@ std::string Runtime::stats_json(double tasks_per_s) const {
   out += buf;
   append_u64(out, "renames", s.renames);
   append_u64(out, "rename_bytes", s.rename_bytes_total);
+  append_u64(out, "lockfree_cas_retries", s.lockfree_cas_retries);
   append_u64(out, "stream_submitted", s.stream_submitted);
   append_u64(out, "stream_retired", s.stream_retired);
   append_u64(out, "stream_throttled", s.stream_throttled);

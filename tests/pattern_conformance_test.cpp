@@ -93,6 +93,47 @@ const Variant kSweep[] = {
        o.cfg.task_window = 16;
        o.cfg.dep_shards = 1;
      }},
+    // Lock-free sweep: dep_lockfree on/off crossed with the shard layout and
+    // chain-depth axes. The nested rows above already exercise the lock-free
+    // path at default chain depth (dep_lockfree defaults on); these rows pin
+    // the remaining combinations, including the locked fallback that
+    // SMPSS_DEP_LOCKFREE=0 selects.
+    {"lockfree_chain0_shards1",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.chain_depth = 0;
+       o.cfg.dep_shards = 1;
+     }},
+    {"lockfree_chain0_shards64",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.chain_depth = 0;
+       o.cfg.dep_shards = 64;
+     }},
+    {"locked_nested_shards1",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+       o.cfg.dep_shards = 1;
+     }},
+    {"locked_nested_shards64",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+       o.cfg.dep_shards = 64;
+     }},
+    {"locked_nested_chain0",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+       o.cfg.chain_depth = 0;
+     }},
+    {"locked_nested_steps",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+       o.shape = SubmitShape::NestedSteps;
+     }},
 };
 
 ::testing::AssertionResult images_equal(const PatternImage& got,
@@ -270,6 +311,7 @@ RunOptions random_options(Xoshiro256& rng, const PatternSpec& spec) {
   o.cfg.pool_cache = rng.next_below(2) ? 64u : 0u;
   o.cfg.task_window = std::array<std::size_t, 3>{4, 16, 8192}[rng.next_below(3)];
   o.cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
+  o.cfg.dep_lockfree = rng.next_below(2) == 0;
   o.cfg.nested_tasks = rng.next_below(2) == 0;
   if (o.cfg.nested_tasks && rng.next_below(2) == 0) {
     o.shape = SubmitShape::NestedSteps;
@@ -334,6 +376,7 @@ void run_service_fuzz_seed(std::uint64_t seed) {
   cfg.task_window =
       std::array<std::size_t, 3>{24, 128, 8192}[rng.next_below(3)];
   cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
+  cfg.dep_lockfree = rng.next_below(2) == 0;
   const int nstreams = 2 + static_cast<int>(rng.next_below(3));  // 2..4
 
   struct Client {

@@ -60,6 +60,11 @@ def load_medians(path):
     out = {}
     for name, aggs in aggregates.items():
         picked = aggs.get("median") or aggs.get("mean")
+        if picked is None:
+            # No usable aggregate for this metric; leave it to the raw
+            # repetitions below rather than storing a row that would make
+            # the gate loop unpack None.
+            continue
         out[name] = picked
     for name, samples in raw.items():
         if name in out:
@@ -102,11 +107,15 @@ def main():
         current = load_medians(cur_path)
         baseline = load_medians(base_path) if os.path.exists(base_path) else {}
         for name, (cur, higher) in sorted(current.items()):
-            if name not in baseline:
+            entry = baseline.get(name)
+            base = entry[0] if entry is not None else None
+            if base is None or base <= 0:
+                # Absent from the baseline, or present with a zero/unusable
+                # median (e.g. a ::p99_ns row recorded before the counter
+                # existed): nothing to divide by. Report "new benchmark"
+                # instead of crashing or silently dropping the row — the
+                # next baseline promotion picks it up for real gating.
                 lines.append(f"| `{name}` | — | {fmt(cur)} | — | new |")
-                continue
-            base, _ = baseline[name]
-            if base <= 0:
                 continue
             compared += 1
             # Normalize to "relative throughput change" regardless of metric
