@@ -102,6 +102,13 @@ class DependencyAnalyzer {
 
   bool lockfree() const noexcept { return lockfree_; }
 
+  /// When set (the aware scheduling policy wants its submit hook fed), an
+  /// in-place-reused inout registers its RAW-predecessor version as a read,
+  /// so Runtime::policy_submit sees every true-dependence producer —
+  /// without it, only renamed inputs reach `task->reads` and inout chains
+  /// are invisible to critical-path priorities. Set before any submission.
+  void set_track_raw_preds(bool on) noexcept { track_raw_preds_ = on; }
+
   // --- sharding (two-phase acquisition is the Runtime's job; locked mode) ---
 
   unsigned shard_count() const noexcept { return shard_mask_ + 1; }
@@ -232,6 +239,7 @@ class DependencyAnalyzer {
   RenamePool& pool_;
   bool renaming_;
   bool lockfree_;
+  bool track_raw_preds_ = false;
   GraphRecorder* recorder_;
   unsigned shard_mask_;  // shard count is a power of two
   std::unique_ptr<Shard[]> shards_;

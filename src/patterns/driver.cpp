@@ -35,7 +35,9 @@ std::string RunOptions::describe() const {
      << " nested=" << cfg.nested_tasks << " shards=" << cfg.dep_shards
      << " chain=" << cfg.chain_depth << " pool=" << cfg.pool_cache
      << " window=" << cfg.task_window
-     << " sched=" << to_string(cfg.scheduler_mode);
+     << " sched=" << to_string(cfg.scheduler_mode)
+     << " policy=" << to_string(cfg.sched_policy)
+     << " lockfree=" << cfg.dep_lockfree;
   return os.str();
 }
 

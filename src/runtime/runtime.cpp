@@ -26,8 +26,11 @@ Runtime::Runtime(Config cfg)
            cfg_.num_threads, cfg_.pool_cache > 0 ? cfg_.pool_cache : 64,
            cfg_.dep_lockfree),
       regions_(&recorder_),
-      ready_(cfg_.num_threads, cfg_.scheduler_mode, cfg_.steal_order) {
+      policy_(make_policy<TaskNode>(cfg_.policy_tuning())) {
   recorder_.set_enabled(cfg_.record_graph);
+  // The aware policy's submit hook needs every RAW producer in task->reads,
+  // including in-place-reused inouts (see set_track_raw_preds).
+  dep_.set_track_raw_preds(policy_->wants_submit_hook());
   tracer_.init(cfg_.num_threads, cfg_.tracing);
   types_.push_back(TaskTypeInfo{"task", false});
 
@@ -247,9 +250,22 @@ TaskNode* Runtime::allocate_task(unsigned alloc_slot) {
   return t;
 }
 
+void Runtime::policy_submit(TaskNode* t) {
+  if (!policy_->wants_submit_hook()) return;
+  // Producers of the task's input versions: reads covers in() and inout()
+  // parameters; producer() is a strong ref held through the version, so the
+  // pointers stay valid for the duration of this call. Initial (never
+  // produced) versions have no producer and contribute nothing.
+  SmallVector<TaskNode*, 8> preds;
+  for (Version* v : t->reads)
+    if (TaskNode* p = v->producer()) preds.push_back(p);
+  policy_->on_submit(t, preds.begin(), preds.size());
+}
+
 void Runtime::submit(TaskNode* t) {
   spawned_.fetch_add(1, std::memory_order_relaxed);
   tasks_live_.fetch_add(1, std::memory_order_relaxed);
+  policy_submit(t);
 
   // Release the creation guard; a task with no unsatisfied inputs "is moved
   // into the main ready list or the high priority list" (Sec. III).
@@ -329,39 +345,31 @@ void Runtime::submit(TaskNode* t) {
 }
 
 void Runtime::enqueue_ready(TaskNode* t, unsigned tid, bool at_creation) {
-  if (t->high_priority) {
-    ready_.push_high(t);
-    gate_.notify_one();
+  // Placement belongs to the policy; the wakeup protocol stays here (the
+  // gate is the Runtime's). A task placed in a shared list (high/main) or
+  // routed to another worker's inbox always wakes one sleeper; a task in
+  // the enqueuing worker's own list will be popped by the pusher itself on
+  // its next acquire, so only a backlog a thief could take is worth a
+  // wakeup.
+  const Placed where =
+      at_creation ? policy_->enqueue_creation(
+                        t, tid == kForeignTid
+                               ? SchedulerPolicy<TaskNode>::kNoWorker
+                               : tid,
+                        in_task_context())
+                  : policy_->enqueue_released(t, tid);
+  if (where == Placed::Local) {
+    if (policy_->local_size_estimate(tid) > 1) gate_.notify_one();
     return;
   }
-  if (at_creation) {
-    // Nested children ready at creation go to the spawning worker's own
-    // list: the child operates on data the parent just touched, so this is
-    // the same locality argument Sec. III makes for last-dependence-removed
-    // tasks. Main-thread and foreign-thread submissions keep the paper's
-    // main-list distribution behavior.
-    if (cfg_.nested_tasks && in_task_context() && tid != kForeignTid) {
-      ready_.push_local(tid, t);
-      if (ready_.local_size_estimate(tid) > 1) gate_.notify_one();
-      return;
-    }
-    ready_.push_main(t);
-    gate_.notify_one();
-    return;
-  }
-  // "Each worker thread has its own ready list that contains tasks whose
-  // last input dependency has been removed by that thread." The pusher will
-  // pop this task itself on its next acquire; only wake a sleeper when a
-  // backlog builds up that a thief could take.
-  ready_.push_local(tid, t);
-  if (ready_.local_size_estimate(tid) > 1) gate_.notify_one();
+  gate_.notify_one();
 }
 
 TaskNode* Runtime::acquire(unsigned tid) {
   WorkerState& ws = worker_state_[tid];
   AcquireSource src;
   unsigned attempts = 0;
-  TaskNode* t = ready_.acquire(tid, ws.rng, src, attempts);
+  TaskNode* t = policy_->acquire(tid, ws.rng, src, attempts);
   ws.counters.steal_attempts += attempts;
   switch (src) {
     case AcquireSource::HighPriority: ++ws.counters.acquired_high; break;
@@ -393,8 +401,27 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   WorkerState& ws = worker_state_[tid];
   if (arrived_by_chain) ++ws.counters.chained;
 
+  // Locality accounting: did this task run on the worker placement aimed it
+  // at? (PaperPolicy's own-list pushes set the preference too, so the
+  // hit/miss split is meaningful under both policies; main-list placements
+  // carry no preference and count as neither.)
+  const std::uint32_t pref = t->pref_tid;
+  if (pref != ~0u) {
+    if (pref == tid)
+      ++ws.counters.locality_hits;
+    else
+      ++ws.counters.locality_misses;
+  }
+  // Published before the body runs so successors submitted concurrently
+  // vote for the worker whose cache is being warmed right now.
+  t->exec_tid.store(tid, std::memory_order_relaxed);
+
+  // Body timing feeds the tracer and/or the policy's cost table (the aware
+  // policy wants the feedback even in untraced runs).
+  const bool feedback = policy_->wants_exec_feedback();
+  const bool timed = tracer_.enabled() || feedback;
   std::uint64_t t0 = 0;
-  if (tracer_.enabled()) t0 = now_ns();
+  if (timed) t0 = now_ns();
 
   // Save/restore: a thread blocked in taskwait() executes other tasks, so
   // task bodies nest on one stack and the innermost one must be visible to
@@ -411,12 +438,14 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   tc.current_owner = prev_owner;
   tc.in_task_body = prev_in_body;
 
-  if (tracer_.enabled()) {
+  if (timed) {
     std::uint64_t t1 = now_ns();
     ws.counters.task_ns += t1 - t0;
-    tracer_.record(tid, TraceEvent{t->seq, t->parent ? t->parent->seq : 0,
-                                   t->type_id, tid, t0, t1,
-                                   arrived_by_chain ? 1u : 0u});
+    if (feedback) policy_->on_executed(tid, t->type_id, t1 - t0);
+    if (tracer_.enabled())
+      tracer_.record(tid, TraceEvent{t->seq, t->parent ? t->parent->seq : 0,
+                                     t->type_id, tid, t0, t1,
+                                     arrived_by_chain ? 1u : 0u});
   }
 
   // Publish produced versions before releasing successors.
@@ -441,7 +470,7 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
     // still subject to the chain_depth bound — past it, the high-priority
     // acquire path picks it up on the very next lookup.
     TaskNode* s = released[0];
-    if (allow_chain && (s->high_priority || !ready_.high_pending())) {
+    if (allow_chain && !policy_->preempt_chain(s)) {
       chain = s;
     } else {
       enqueue_ready(s, tid, /*at_creation=*/false);
@@ -450,14 +479,7 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
     // Batched release: publish every released task with one list operation
     // per destination and at most one gate notification for the whole set,
     // instead of a push + notify per successor.
-    SmallVector<TaskNode*, 8> normal;
-    for (TaskNode* s : released) {
-      if (s->high_priority)
-        ready_.push_high(s);
-      else
-        normal.push_back(s);
-    }
-    ready_.push_local_batch(tid, normal.begin(), normal.size());
+    policy_->enqueue_batch(released.begin(), released.size(), tid);
     // This worker consumes one of the batch itself on its next acquire;
     // the rest are worth at most one wakeup each — and none at all when
     // every wakeable worker is already running (no registered sleeper).
@@ -528,7 +550,9 @@ void Runtime::help_once() {
     return;
   }
   if (tasks_live_.load(std::memory_order_acquire) == 0) return;
+  const std::uint64_t w0 = now_ns();
   gate_.wait(seen, std::chrono::microseconds(200));
+  worker_state_[0].counters.idle_ns += now_ns() - w0;
 }
 
 void Runtime::taskwait() {
@@ -652,20 +676,37 @@ StatsSnapshot Runtime::stats() const {
     s = StatsSnapshot{};
     const std::uint64_t epoch0 = spawned_.load(std::memory_order_seq_cst);
 
+    s.workers.resize(cfg_.num_threads);
     for (unsigned i = 0; i < cfg_.num_threads; ++i) {
       const WorkerCounters& w = worker_state_[i].counters;
-      s.tasks_executed += w.executed.get();
-      s.steals += w.steals.get();
-      s.steal_attempts += w.steal_attempts.get();
-      s.acquired_high += w.acquired_high.get();
-      s.acquired_own += w.acquired_own.get();
-      s.acquired_main += w.acquired_main.get();
-      s.idle_sleeps += w.idle_sleeps.get();
+      WorkerStatsRow& row = s.workers[i];
+      row.executed = w.executed.get();
+      row.steals = w.steals.get();
+      row.steal_attempts = w.steal_attempts.get();
+      row.acquired_high = w.acquired_high.get();
+      row.acquired_own = w.acquired_own.get();
+      row.acquired_main = w.acquired_main.get();
+      row.idle_sleeps = w.idle_sleeps.get();
+      row.idle_ns = w.idle_ns.get();
+      row.locality_hits = w.locality_hits.get();
+      row.locality_misses = w.locality_misses.get();
+      row.chained = w.chained.get();
+      s.tasks_executed += row.executed;
+      s.steals += row.steals;
+      s.steal_attempts += row.steal_attempts;
+      s.acquired_high += row.acquired_high;
+      s.acquired_own += row.acquired_own;
+      s.acquired_main += row.acquired_main;
+      s.idle_sleeps += row.idle_sleeps;
+      s.idle_ns += row.idle_ns;
       s.task_ns += w.task_ns.get();
-      s.chained_executions += w.chained.get();
+      s.locality_hits += row.locality_hits;
+      s.locality_misses += row.locality_misses;
+      s.chained_executions += row.chained;
       s.batched_releases += w.batched_releases.get();
       s.wakeups_suppressed += w.wakeups_suppressed.get();
     }
+    s.sched_promotions = policy_->promotions();
     std::atomic_thread_fence(std::memory_order_seq_cst);
 
     // The dependency counters are striped atomics now — summing them is

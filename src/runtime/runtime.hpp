@@ -68,6 +68,7 @@
 #include "runtime/stream.hpp"
 #include "sched/admission.hpp"
 #include "sched/idle_wait.hpp"
+#include "sched/policy.hpp"
 #include "sched/ready_lists.hpp"
 #include "trace/tracer.hpp"
 
@@ -306,6 +307,11 @@ class Runtime {
   void enqueue_ready(TaskNode* t, unsigned tid, bool at_creation);
   TaskNode* acquire(unsigned tid);
 
+  /// Policy submission hook: collect the producers of this task's input
+  /// versions and hand them to the policy (critical-path + locality state).
+  /// Must run before the creation guard is released. No-op for PaperPolicy.
+  void policy_submit(TaskNode* t);
+
   /// Run `t`, then keep running immediate successors (Config::chain_depth)
   /// as the completions release them — each retire is still complete and in
   /// order (data tokens, parent notification, live count + threshold
@@ -399,7 +405,11 @@ class Runtime {
   GraphRecorder recorder_;
   DependencyAnalyzer dep_;
   RegionAnalyzer regions_;
-  ReadyLists<TaskNode> ready_;
+  /// Owner of every placement/ordering/steal decision (sched/policy.hpp):
+  /// PaperPolicy wraps the Sec. III ReadyLists verbatim; AwarePolicy adds
+  /// cost-, critical-path-, and locality-aware placement
+  /// (Config::sched_policy / SMPSS_SCHED_POLICY).
+  std::unique_ptr<SchedulerPolicy<TaskNode>> policy_;
   IdleGate gate_;
   Tracer tracer_;
 

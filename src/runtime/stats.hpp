@@ -22,7 +22,13 @@ struct alignas(kCacheLineSize) WorkerCounters {
   Counter64 acquired_own;
   Counter64 acquired_main;
   Counter64 idle_sleeps;
-  Counter64 task_ns;  ///< accumulated body time (tracing only)
+  Counter64 idle_ns;  ///< wall time spent blocked on the idle gate
+  Counter64 task_ns;  ///< accumulated body time (tracing or cost feedback)
+  /// Executed tasks whose placement preference (TaskNode::pref_tid) matched /
+  /// missed this worker. PaperPolicy marks its local pushes too, so the
+  /// ratio is meaningful under both policies.
+  Counter64 locality_hits;
+  Counter64 locality_misses;
   /// Tasks this worker ran by chaining directly out of a completion (the
   /// single released successor bypassed the ready lists entirely).
   Counter64 chained;
@@ -54,6 +60,21 @@ struct StreamStats {
   std::uint64_t latency_count = 0;
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
+};
+
+/// One worker's row in StatsSnapshot (index = worker id, 0 = main thread).
+struct WorkerStatsRow {
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t acquired_high = 0;
+  std::uint64_t acquired_own = 0;
+  std::uint64_t acquired_main = 0;
+  std::uint64_t idle_sleeps = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t locality_hits = 0;
+  std::uint64_t locality_misses = 0;
+  std::uint64_t chained = 0;
 };
 
 /// Aggregate view returned by Runtime::stats().
@@ -102,7 +123,15 @@ struct StatsSnapshot {
   std::uint64_t acquired_own = 0;
   std::uint64_t acquired_main = 0;
   std::uint64_t idle_sleeps = 0;
+  std::uint64_t idle_ns = 0;
   std::uint64_t task_ns = 0;
+  std::uint64_t locality_hits = 0;
+  std::uint64_t locality_misses = 0;
+  /// Ready tasks the aware policy promoted to the high-priority list on
+  /// critical-path priority (zero under the paper policy).
+  std::uint64_t sched_promotions = 0;
+  /// One row per worker (summed into the aggregates above).
+  std::vector<WorkerStatsRow> workers;
 
   // retire fast path (summed over workers; see Config::chain_depth)
   std::uint64_t chained_executions = 0;

@@ -78,6 +78,31 @@ std::string Runtime::stats_json(double tasks_per_s) const {
   append_u64(out, "renames", s.renames);
   append_u64(out, "rename_bytes", s.rename_bytes_total);
   append_u64(out, "lockfree_cas_retries", s.lockfree_cas_retries);
+  append_u64(out, "steals", s.steals);
+  append_u64(out, "idle_ns", s.idle_ns);
+  append_u64(out, "locality_hits", s.locality_hits);
+  append_u64(out, "locality_misses", s.locality_misses);
+  append_u64(out, "sched_promotions", s.sched_promotions);
+  out += "\"workers\":[";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const WorkerStatsRow& w = s.workers[i];
+    if (i != 0) out += ',';
+    out += '{';
+    append_u64(out, "tid", i);
+    append_u64(out, "executed", w.executed);
+    append_u64(out, "steals", w.steals);
+    append_u64(out, "steal_attempts", w.steal_attempts);
+    append_u64(out, "acquired_high", w.acquired_high);
+    append_u64(out, "acquired_own", w.acquired_own);
+    append_u64(out, "acquired_main", w.acquired_main);
+    append_u64(out, "idle_sleeps", w.idle_sleeps);
+    append_u64(out, "idle_ns", w.idle_ns);
+    append_u64(out, "locality_hits", w.locality_hits);
+    append_u64(out, "locality_misses", w.locality_misses);
+    append_u64(out, "chained", w.chained, /*comma=*/false);
+    out += '}';
+  }
+  out += "],";
   append_u64(out, "stream_submitted", s.stream_submitted);
   append_u64(out, "stream_retired", s.stream_retired);
   append_u64(out, "stream_throttled", s.stream_throttled);

@@ -2,6 +2,7 @@
 
 #include "common/affinity.hpp"
 #include "common/spin.hpp"
+#include "common/timing.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/thread_context.hpp"
 
@@ -47,7 +48,9 @@ void worker_main(Runtime& rt, unsigned tid) {
     }
     if (rt.shutdown_.load(std::memory_order_acquire)) break;
     ++wc.idle_sleeps;
+    const std::uint64_t w0 = now_ns();
     rt.gate_.wait(seen, std::chrono::microseconds(500));
+    wc.idle_ns += now_ns() - w0;
     failures = 0;
     backoff.reset();
   }

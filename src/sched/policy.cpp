@@ -1,0 +1,101 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace smpss {
+
+const char* to_string(SchedPolicyKind k) noexcept {
+  switch (k) {
+    case SchedPolicyKind::Paper: return "paper";
+    case SchedPolicyKind::Aware: return "aware";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Read one small integer file (sysfs topology). -1 on any failure.
+long read_long(const char* path) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return -1;
+  long v = -1;
+  if (std::fscanf(f, "%ld", &v) != 1) v = -1;
+  std::fclose(f);
+  return v;
+#else
+  (void)path;
+  return -1;
+#endif
+}
+
+struct CpuPlace {
+  long core = -1;
+  long pkg = -1;
+};
+
+/// Topology of the CPU each worker lands on, under the same worker->CPU map
+/// pin_current_thread uses (round-robin over the allowed set). Empty when
+/// the topology is unreadable (non-Linux, stripped sysfs).
+std::vector<CpuPlace> worker_places(unsigned nthreads) {
+  std::vector<CpuPlace> out;
+#if defined(__linux__)
+  cpu_set_t avail;
+  CPU_ZERO(&avail);
+  if (sched_getaffinity(0, sizeof(avail), &avail) != 0) return out;
+  std::vector<int> allowed;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(c, &avail)) allowed.push_back(c);
+  if (allowed.empty()) return out;
+  out.resize(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) {
+    const int cpu = allowed[i % allowed.size()];
+    char path[128];
+    std::snprintf(path, sizeof path,
+                  "/sys/devices/system/cpu/cpu%d/topology/core_id", cpu);
+    out[i].core = read_long(path);
+    std::snprintf(path, sizeof path,
+                  "/sys/devices/system/cpu/cpu%d/topology/physical_package_id",
+                  cpu);
+    out[i].pkg = read_long(path);
+    if (out[i].core < 0 || out[i].pkg < 0) return {};  // partial = unusable
+  }
+#else
+  (void)nthreads;
+#endif
+  return out;
+}
+
+}  // namespace
+
+std::vector<unsigned> topology_steal_order(unsigned tid, unsigned nthreads) {
+  std::vector<unsigned> order;
+  if (nthreads < 2) return order;
+  order.reserve(nthreads - 1);
+  for (unsigned i = 1; i < nthreads; ++i)
+    order.push_back((tid + i) % nthreads);
+
+  static const std::vector<CpuPlace> places = worker_places(256);
+  if (places.empty() || tid >= places.size()) return order;  // ring fallback
+  const CpuPlace self = places[tid];
+  // Stable sort keeps ring order inside each tier, so two same-package
+  // victims are still visited in creation order from tid+1.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](unsigned a, unsigned b) {
+                     auto tier = [&](unsigned v) {
+                       if (v >= places.size()) return 3;
+                       if (places[v].pkg != self.pkg) return 2;
+                       if (places[v].core != self.core) return 1;
+                       return 0;  // SMT sibling: shares L1/L2
+                     };
+                     return tier(a) < tier(b);
+                   });
+  return order;
+}
+
+}  // namespace smpss

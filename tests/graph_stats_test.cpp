@@ -3,6 +3,10 @@
 // ones.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "graph/graph_recorder.hpp"
 #include "graph/graph_stats.hpp"
 #include "runtime/runtime.hpp"
@@ -109,6 +113,121 @@ TEST(GraphStats, RecordedRuntimeGraphMatchesSpawnStructure) {
   EXPECT_EQ(s.critical_path, 5u);
   EXPECT_EQ(s.max_width, 2u);
   EXPECT_EQ(s.roots, 2u);
+}
+
+// --- per-worker scheduling counters (StatsSnapshot::workers) -----------------
+
+TEST(RuntimeWorkerStats, SingleThreadChainRowsAreExact) {
+  Config c;
+  c.num_threads = 1;
+  // chain_depth = 0 forces every released successor through the ready lists,
+  // where the policy stamps its placement preference (chained tasks bypass
+  // enqueue entirely and carry no preference).
+  c.chain_depth = 0;
+  Runtime rt(c);
+  constexpr int kN = 100;
+  long x = 0;
+  for (int i = 0; i < kN; ++i) rt.spawn([](long* p) { *p += 1; }, inout(&x));
+  rt.barrier();
+  EXPECT_EQ(x, static_cast<long>(kN));
+
+  auto s = rt.stats();
+  ASSERT_EQ(s.workers.size(), 1u);
+  const auto& w = s.workers[0];
+  EXPECT_EQ(w.executed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(w.steals, 0u);
+  EXPECT_EQ(w.chained, 0u);
+  // The chain head was spawned from the main thread (no preference, counted
+  // neither way); every other task was released by worker 0 and executed by
+  // worker 0.
+  EXPECT_EQ(w.locality_hits, static_cast<std::uint64_t>(kN) - 1);
+  EXPECT_EQ(w.locality_misses, 0u);
+  // Aggregates are exactly the row sums (one row here).
+  EXPECT_EQ(s.tasks_executed, w.executed);
+  EXPECT_EQ(s.steals, w.steals);
+  EXPECT_EQ(s.locality_hits, w.locality_hits);
+  EXPECT_EQ(s.locality_misses, w.locality_misses);
+  EXPECT_EQ(s.idle_ns, w.idle_ns);
+  EXPECT_EQ(s.idle_sleeps, w.idle_sleeps);
+  EXPECT_EQ(s.acquired_high, w.acquired_high);
+  EXPECT_EQ(s.acquired_own, w.acquired_own);
+  EXPECT_EQ(s.acquired_main, w.acquired_main);
+  // The paper policy never promotes on priority.
+  EXPECT_EQ(s.sched_promotions, 0u);
+}
+
+TEST(RuntimeWorkerStats, AggregatesEqualRowSumsAcrossWorkers) {
+  Config c;
+  c.num_threads = 4;
+  Runtime rt(c);
+  std::vector<long> sinks(64, 0);
+  long chain = 0;
+  for (int step = 0; step < 8; ++step) {
+    rt.spawn([](long* p) { *p += 1; }, inout(&chain));
+    for (auto& v : sinks) rt.spawn([](long* p) { *p += 1; }, inout(&v));
+  }
+  rt.barrier();
+  auto s = rt.stats();
+  ASSERT_EQ(s.workers.size(), 4u);
+  WorkerStatsRow sum;
+  for (const auto& w : s.workers) {
+    sum.executed += w.executed;
+    sum.steals += w.steals;
+    sum.steal_attempts += w.steal_attempts;
+    sum.acquired_high += w.acquired_high;
+    sum.acquired_own += w.acquired_own;
+    sum.acquired_main += w.acquired_main;
+    sum.idle_sleeps += w.idle_sleeps;
+    sum.idle_ns += w.idle_ns;
+    sum.locality_hits += w.locality_hits;
+    sum.locality_misses += w.locality_misses;
+    sum.chained += w.chained;
+  }
+  EXPECT_EQ(s.tasks_executed, sum.executed);
+  EXPECT_EQ(s.tasks_executed, 8u * 65u);
+  EXPECT_EQ(s.steals, sum.steals);
+  EXPECT_EQ(s.steal_attempts, sum.steal_attempts);
+  EXPECT_EQ(s.acquired_high, sum.acquired_high);
+  EXPECT_EQ(s.acquired_own, sum.acquired_own);
+  EXPECT_EQ(s.acquired_main, sum.acquired_main);
+  EXPECT_EQ(s.idle_sleeps, sum.idle_sleeps);
+  EXPECT_EQ(s.idle_ns, sum.idle_ns);
+  EXPECT_EQ(s.locality_hits, sum.locality_hits);
+  EXPECT_EQ(s.locality_misses, sum.locality_misses);
+  EXPECT_EQ(s.chained_executions, sum.chained);
+}
+
+TEST(RuntimeWorkerStats, AwarePolicyCountsPromotionsAndExportsJson) {
+  Config c;
+  c.num_threads = 1;
+  c.chain_depth = 0;
+  c.sched_policy = SchedPolicyKind::Aware;
+  Runtime rt(c);
+  // A long serial chain (growing critical-path priority) against a backdrop
+  // of independent unit tasks (flat priority): the chain's enqueues must
+  // cross the promotion threshold once the EWMA settles around the flat
+  // tasks' priority.
+  long chain = 0;
+  std::vector<long> flat(16 * 8, 0);
+  std::size_t k = 0;
+  for (int step = 0; step < 16; ++step) {
+    rt.spawn([](long* p) { *p += 1; }, inout(&chain));
+    for (int j = 0; j < 8; ++j) rt.spawn([](long* p) { *p = 1; }, out(&flat[k++]));
+  }
+  rt.barrier();
+  EXPECT_EQ(chain, 16);
+
+  auto s = rt.stats();
+  EXPECT_EQ(s.tasks_executed, 16u * 9u);
+  EXPECT_GT(s.sched_promotions, 0u);
+  EXPECT_EQ(s.acquired_high, s.sched_promotions);
+
+  const std::string json = rt.stats_json();
+  EXPECT_NE(json.find("\"workers\":["), std::string::npos);
+  EXPECT_NE(json.find("\"locality_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"locality_misses\":"), std::string::npos);
+  EXPECT_NE(json.find("\"idle_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sched_promotions\":"), std::string::npos);
 }
 
 }  // namespace

@@ -134,6 +134,36 @@ const Variant kSweep[] = {
        o.cfg.dep_lockfree = false;
        o.shape = SubmitShape::NestedSteps;
      }},
+    // Aware scheduling policy: placement and ordering change completely
+    // (cost EWMA, critical-path promotion, locality routing, per-worker
+    // deques) but the dataflow must not. Crossed with both dependency-engine
+    // modes and both nested shapes.
+    {"aware",
+     [](RunOptions& o) { o.cfg.sched_policy = SchedPolicyKind::Aware; }},
+    {"aware_lockfree_nested_shards1",
+     [](RunOptions& o) {
+       o.cfg.sched_policy = SchedPolicyKind::Aware;
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_shards = 1;
+     }},
+    {"aware_lockfree_nested_shards64",
+     [](RunOptions& o) {
+       o.cfg.sched_policy = SchedPolicyKind::Aware;
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_shards = 64;
+     }},
+    {"aware_locked_nested",
+     [](RunOptions& o) {
+       o.cfg.sched_policy = SchedPolicyKind::Aware;
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+     }},
+    {"aware_nested_steps",
+     [](RunOptions& o) {
+       o.cfg.sched_policy = SchedPolicyKind::Aware;
+       o.cfg.nested_tasks = true;
+       o.shape = SubmitShape::NestedSteps;
+     }},
 };
 
 ::testing::AssertionResult images_equal(const PatternImage& got,
@@ -312,6 +342,8 @@ RunOptions random_options(Xoshiro256& rng, const PatternSpec& spec) {
   o.cfg.task_window = std::array<std::size_t, 3>{4, 16, 8192}[rng.next_below(3)];
   o.cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
   o.cfg.dep_lockfree = rng.next_below(2) == 0;
+  o.cfg.sched_policy =
+      rng.next_below(2) ? SchedPolicyKind::Aware : SchedPolicyKind::Paper;
   o.cfg.nested_tasks = rng.next_below(2) == 0;
   if (o.cfg.nested_tasks && rng.next_below(2) == 0) {
     o.shape = SubmitShape::NestedSteps;
@@ -377,6 +409,8 @@ void run_service_fuzz_seed(std::uint64_t seed) {
       std::array<std::size_t, 3>{24, 128, 8192}[rng.next_below(3)];
   cfg.dep_shards = rng.next_below(2) ? 64u : 1u;
   cfg.dep_lockfree = rng.next_below(2) == 0;
+  cfg.sched_policy =
+      rng.next_below(2) ? SchedPolicyKind::Aware : SchedPolicyKind::Paper;
   const int nstreams = 2 + static_cast<int>(rng.next_below(3));  // 2..4
 
   struct Client {
