@@ -1,0 +1,56 @@
+// Push-style PageRank over a blocked synthetic graph — the commutative-mode
+// mini-app. Each iteration scatters rank mass from every source block into
+// per-destination-block accumulators: one task per (source block,
+// destination block) pair that reads the source ranks and read-modify-writes
+// the destination accumulator. All scatter tasks targeting one accumulator
+// commute (integer addition is associative AND exact), which is precisely
+// what Dir::Commutative expresses: mutual exclusion without ordering. The
+// paper's in/out/inout vocabulary can only serialize them in program order —
+// an O(blocks^2) chain per destination.
+//
+// Ranks are 64-bit fixed point (kRankScale) so the unordered accumulation is
+// bit-exact against the sequential oracle: no floating-point reassociation
+// slack is needed anywhere.
+//
+// The graph is implicit and deterministic: node u's k-th out-edge targets
+// mix(u, k) % n (SplitMix64), so tasks carry no edge storage and the oracle
+// reproduces the exact edge set.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace smpss::apps {
+
+/// Fixed-point scale for rank values (Q32.20-ish; sums stay far below 2^62).
+inline constexpr std::int64_t kRankScale = 1 << 20;
+
+struct PageRankTasks {
+  TaskType zero;     ///< clear one destination-block accumulator
+  TaskType scatter;  ///< (src block, dst block): push rank mass
+  TaskType apply;    ///< fold accumulator into new ranks (damping)
+  static PageRankTasks register_in(Runtime& rt);
+};
+
+/// Deterministic initial condition: every node starts at kRankScale / n.
+void pagerank_init(int n, std::int64_t* ranks);
+
+/// Sequential oracle: `iters` push iterations on the implicit graph
+/// (out-degree `degree`, damping 85/100 in exact integer arithmetic).
+void pagerank_seq(int n, int degree, int iters, std::int64_t* ranks);
+
+/// Task-parallel version. One scatter task per (source block, destination
+/// block) pair; `use_commutative` selects how its accumulator parameter is
+/// lowered:
+///   true  — smpss::commutative(...): writers into one accumulator mutually
+///           exclude but run in any order (the point of this app);
+///   false — smpss::inout(...): the paper-faithful lowering, which chains
+///           all writers of one accumulator in program order.
+/// Both produce results bit-identical to pagerank_seq. `accum` must hold n
+/// entries, `block` divides the node range into ceil(n/block) blocks.
+void pagerank_smpss(Runtime& rt, const PageRankTasks& tt, int n, int degree,
+                    int iters, int block, std::int64_t* ranks,
+                    std::int64_t* accum, bool use_commutative);
+
+}  // namespace smpss::apps

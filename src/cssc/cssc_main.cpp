@@ -22,6 +22,8 @@ const char* dir_name(smpss::cssc::Direction d) {
     case Direction::Input: return "input";
     case Direction::Output: return "output";
     case Direction::Inout: return "inout";
+    case Direction::Commutative: return "commutative";
+    case Direction::Concurrent: return "concurrent";
   }
   return "?";
 }

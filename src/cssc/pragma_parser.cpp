@@ -137,6 +137,10 @@ class Parser {
         dir = Direction::Output;
       } else if (is_ident("inout")) {
         dir = Direction::Inout;
+      } else if (is_ident("commutative")) {
+        dir = Direction::Commutative;
+      } else if (is_ident("concurrent")) {
+        dir = Direction::Concurrent;
       } else {
         return fail("unknown task clause '" + cur().text + "'");
       }
@@ -176,6 +180,10 @@ class Parser {
           if (!expect_punct('}', "region specifier")) return false;
           p.regions.push_back(std::move(r));
         }
+        if (!p.regions.empty() && (dir == Direction::Commutative ||
+                                   dir == Direction::Concurrent))
+          return fail("commutative/concurrent clauses do not accept region "
+                      "specifiers (commuting modes are whole-object only)");
         clause.params.push_back(std::move(p));
         if (is_punct(',')) advance();
       }

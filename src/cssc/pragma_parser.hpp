@@ -1,7 +1,8 @@
 // Parser for the `#pragma css` constructs of paper Sec. II and Sec. V.A:
 //
 //   #pragma css task [clause...]          (before a function decl/def)
-//       clause := input(plist) | output(plist) | inout(plist) | highpriority
+//       clause := input(plist) | output(plist) | inout(plist)
+//               | commutative(plist) | concurrent(plist) | highpriority
 //       plist  := param [, param]...
 //       param  := identifier [dimension...] [region...]
 //       dimension := '[' expr ']'
@@ -24,7 +25,10 @@
 
 namespace smpss::cssc {
 
-enum class Direction { Input, Output, Inout };
+/// Directionality clauses, including the two commuting extensions:
+/// `commutative` (mutually exclusive unordered writers) and `concurrent`
+/// (reduction into per-worker privates; codegen emits a Plus reduction).
+enum class Direction { Input, Output, Inout, Commutative, Concurrent };
 
 struct RegionSpec {
   enum class Kind { Bounds, Length, Full } kind = Kind::Full;

@@ -10,11 +10,15 @@
 
 namespace smpss {
 
-/// Directionality clauses of the `#pragma css task` construct.
+/// Directionality clauses of the `#pragma css task` construct, extended by
+/// the two QuickSched-style commuting modes (mutual exclusion / reduction)
+/// that the paper's in/out/inout vocabulary cannot express.
 enum class Dir : unsigned char {
-  In,     ///< parameter is only read
-  Out,    ///< parameter is only written
-  InOut,  ///< parameter is read and written
+  In,           ///< parameter is only read
+  Out,          ///< parameter is only written
+  InOut,        ///< parameter is read and written
+  Commutative,  ///< read-modify-write; writers mutually exclude, no ordering
+  Concurrent,   ///< reduction: unordered writers into per-worker privates
 };
 
 inline const char* to_string(Dir d) noexcept {
@@ -22,9 +26,32 @@ inline const char* to_string(Dir d) noexcept {
     case Dir::In: return "input";
     case Dir::Out: return "output";
     case Dir::InOut: return "inout";
+    case Dir::Commutative: return "commutative";
+    case Dir::Concurrent: return "concurrent";
   }
   return "?";
 }
+
+/// True for the modes where a group of same-mode accesses commutes (runs in
+/// any order) instead of being chained by WAW edges.
+inline bool is_commuting(Dir d) noexcept {
+  return d == Dir::Commutative || d == Dir::Concurrent;
+}
+
+/// Type-erased reduction operator for Dir::Concurrent parameters. `init`
+/// seeds a freshly allocated per-worker private buffer with the identity;
+/// `combine` folds one private into the master copy. Both receive the full
+/// byte extent of the parameter. Operator identity (for grouping accesses
+/// into one reduction) is by function-pointer equality.
+struct ReductionOp {
+  void (*init)(void* priv, std::size_t bytes) = nullptr;
+  void (*combine)(void* into, const void* priv, std::size_t bytes) = nullptr;
+
+  bool valid() const noexcept { return init && combine; }
+  bool operator==(const ReductionOp& o) const noexcept {
+    return init == o.init && combine == o.combine;
+  }
+};
 
 /// One directional parameter of one task invocation.
 struct AccessDesc {
@@ -33,6 +60,7 @@ struct AccessDesc {
   Dir dir = Dir::In;
   bool has_region = false;  ///< region-qualified access (Sec. V.A)
   Region region;            ///< valid when has_region
+  ReductionOp op;           ///< valid when dir == Dir::Concurrent
 };
 
 }  // namespace smpss

@@ -1,6 +1,9 @@
 #include "dep/dependency_analyzer.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "dep/access_group.hpp"
 
 namespace smpss {
 
@@ -39,6 +42,7 @@ DependencyAnalyzer::DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
       // WAR edges; that needs the submission lock, so it forces locked mode.
       lockfree_(lockfree && renaming_enabled),
       recorder_(recorder),
+      workers_(owner_slots < 1 ? 1 : owner_slots),
       vpool_(Version::block_bytes(), alignof(std::max_align_t),
              owner_slots < 1 ? 1 : owner_slots,
              cache_blocks < 1 ? 1 : cache_blocks) {
@@ -53,6 +57,7 @@ DependencyAnalyzer::DependencyAnalyzer(RenamePool& pool, bool renaming_enabled,
 DependencyAnalyzer::~DependencyAnalyzer() {
   // Normal shutdown goes through flush_all() after a barrier; this handles
   // abandoned runtimes without leaking versions or entries.
+  for (AccessGroup* g : open_groups_) g->release();
   for (unsigned s = 0; s <= shard_mask_; ++s) {
     for (auto& bucket : shards_[s].buckets) {
       DataEntry* p = bucket.load(std::memory_order_acquire);
@@ -129,6 +134,9 @@ void DependencyAnalyzer::add_edge(CounterStripe& st, TaskNode* pred,
     case EdgeKind::Output:
       st.waw_edges.fetch_add(1, std::memory_order_relaxed);
       break;
+    case EdgeKind::Member:
+      st.commute_edges.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
   // Per-stream accounting: edges are charged to the *successor* (the task
@@ -179,6 +187,9 @@ void* DependencyAnalyzer::process(TaskNode* task, const AccessDesc& access) {
                                       /*also_reads=*/true);
       return process_write(st, slot, task, e, access.bytes,
                            /*also_reads=*/true);
+    case Dir::Commutative:
+    case Dir::Concurrent:
+      return process_commuting(st, slot, task, e, access);
   }
   return nullptr;  // unreachable
 }
@@ -196,6 +207,13 @@ void* DependencyAnalyzer::process_read(CounterStripe& st, TaskNode* task,
     // renaming absorbs those hazards.
     v->register_reader(task, /*record_task=*/!renaming_);
   }
+  // A read is a non-matching access for any open commuting group at the
+  // head: seal it, so no later member can slip in behind this reader. The
+  // ordering itself needs nothing special — the group version's producer is
+  // its close node, so the ordinary RAW edge below orders this reader after
+  // the entire group. (Safe to inspect: the pin/registration above keeps v
+  // alive, and sealing races are idempotent.)
+  if (AccessGroup* g = v->group()) seal_group(st, g);
   // A freshly CAS-published version may still be storage-unresolved while
   // its writer decides between reuse and rename; bytes()/renamed() are only
   // stable after the wait.
@@ -216,8 +234,15 @@ void* DependencyAnalyzer::process_read(CounterStripe& st, TaskNode* task,
 
 void* DependencyAnalyzer::process_write(CounterStripe& st, unsigned slot,
                                         TaskNode* task, DataEntry& e,
-                                        std::size_t bytes, bool also_reads) {
+                                        std::size_t bytes, bool also_reads,
+                                        AccessGroup* group) {
   Version* v = e.latest.load(std::memory_order_acquire);
+
+  // A plain write never commutes with an open group at the head: seal it.
+  // The hazard probe below sees the group version unproduced (its close node
+  // retires only after every member), which forces the rename/edge that
+  // orders this writer after the whole group.
+  if (AccessGroup* pg = v->group()) seal_group(st, pg);
 
   // Merged-extent invariant: e.bytes is the largest extent ever written and
   // every version covers all of it, so copy-back of `latest` alone restores
@@ -338,6 +363,16 @@ void* DependencyAnalyzer::process_write(CounterStripe& st, unsigned slot,
 
   auto* v2 = Version::create(vpool_, slot, &e, storage, ext, renamed, task,
                              acct);
+  if (group) {
+    // Opening a commuting group: the new version carries the group (one ref,
+    // released by ~Version), and the group pins the superseded version so
+    // member wiring can keep taking edges from its producer/readers.
+    group->bytes = ext;
+    v->add_ref();
+    group->prev = v;
+    group->add_ref();
+    v2->set_group(group);
+  }
   e.latest.store(v2, std::memory_order_release);
   v->release(pool_);  // drop the superseded version's latest-token
   task->produces.push_back(v2);
@@ -352,7 +387,8 @@ void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
                                                  unsigned slot, TaskNode* task,
                                                  DataEntry& e,
                                                  std::size_t bytes,
-                                                 bool also_reads) {
+                                                 bool also_reads,
+                                                 AccessGroup* group) {
   SMPSS_ASSERT(renaming_);
   // Publish first, decide later: the new version is CAS-swung onto the chain
   // head with its storage still unresolved. Success transfers the superseded
@@ -363,6 +399,13 @@ void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
   // token makes its fields trustworthy.
   Version* v2 = Version::create(vpool_, slot, &e, Version::unresolved_storage(),
                                 /*bytes=*/0, /*renamed=*/false, task);
+  if (group) {
+    // Opening a commuting group: attach it before publication so any access
+    // that observes the new head already sees the group pointer (joiners
+    // then spin on group->ready for the wiring below to finish).
+    group->add_ref();
+    v2->set_group(group);
+  }
   Version* v = e.latest.load(std::memory_order_acquire);
   while (!e.latest.compare_exchange_weak(v, v2, std::memory_order_seq_cst,
                                          std::memory_order_acquire)) {
@@ -371,6 +414,12 @@ void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
   // Our predecessor may itself still be storage-unresolved (its writer is
   // mid-decision); every field read below needs it finalized.
   v->storage_wait();
+
+  // Whatever open commuting group the superseded head carried is sealed by
+  // this supersession — including when we are ourselves opening a new group
+  // on top (a lost publication race between two matching accesses stacks two
+  // groups; the close-node edges below still order them correctly).
+  if (AccessGroup* pg = v->group()) seal_group(st, pg);
 
   const std::size_t old_ext = v->bytes();
   fetch_max(e.bytes, bytes);
@@ -443,6 +492,15 @@ void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
     }
   }
 
+  if (group) {
+    // Group bookkeeping mirrors the locked path; v is stable here (we hold
+    // its former latest-token) and group->ready is still unset, so no joiner
+    // reads these fields yet.
+    group->bytes = ext;
+    v->add_ref();
+    group->prev = v;
+  }
+
   // Resolve v2: readers pinned on it are spinning in storage_wait() for
   // exactly this release.
   v2->finalize_storage(storage, ext, renamed, acct);
@@ -454,6 +512,200 @@ void* DependencyAnalyzer::process_write_lockfree(CounterStripe& st,
   }
   v->release(pool_);  // drop the latest-token the CAS transferred to us
   return storage;
+}
+
+void* DependencyAnalyzer::process_commuting(CounterStripe& st, unsigned slot,
+                                            TaskNode* task, DataEntry& e,
+                                            const AccessDesc& access) {
+  SMPSS_CHECK(close_factory_,
+              "commutative/concurrent access before the runtime installed "
+              "its group-close factory");
+  SMPSS_ASSERT(access.dir != Dir::Concurrent || access.op.valid());
+
+  // Try to join an open matching group at the chain head.
+  while (true) {
+    Version* v;
+    if (lockfree_) {
+      // Pin before inspecting: only a validated pin makes v's fields (group
+      // pointer included) trustworthy against block recycling.
+      v = pin_latest(st, task, e);
+    } else {
+      v = e.latest.load(std::memory_order_acquire);
+    }
+    AccessGroup* g = v->group();
+    bool joined = false;
+    if (g != nullptr) {
+      while (!g->ready.load(std::memory_order_acquire)) cpu_relax();
+      const bool match =
+          g->mode == access.dir &&
+          (access.dir != Dir::Concurrent || g->op == access.op) &&
+          access.bytes <= g->bytes;
+      if (match) {
+        bool still_open;
+        g->mu.lock();
+        // Head revalidation closes the lock-free race where the group was
+        // superseded (and sealed) between our pin and the lock.
+        if (g->open.load(std::memory_order_relaxed) &&
+            e.latest.load(std::memory_order_acquire) == v) {
+          join_member(st, task, g);
+          joined = true;
+        }
+        still_open = g->open.load(std::memory_order_relaxed);
+        g->mu.unlock();
+        if (!joined && still_open) {
+          // Open but no longer at the head: retry against the new head.
+          if (lockfree_) v->reader_finished(pool_);
+          st.cas_retries.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Sealed group: fall through and open a fresh one on the head.
+      } else {
+        // A non-matching commuting access seals the group, exactly like a
+        // plain read/write would.
+        seal_group(st, g);
+      }
+    }
+    if (joined) {
+      void* s = v->storage_wait();
+      if (lockfree_) v->reader_finished(pool_);
+      return s;
+    }
+    if (lockfree_) v->reader_finished(pool_);
+    break;
+  }
+
+  // Open a new group. The ordinary inout process_write runs with the close
+  // node as the writing task; it seals whatever group the superseded head
+  // still carried, wires the close node's RAW edge, and hangs the group off
+  // the new version (see file comment in dep/access_group.hpp).
+  st.groups_opened.fetch_add(1, std::memory_order_relaxed);
+  auto* g = new AccessGroup(access.dir, access.op, access.bytes, workers_,
+                            pool_);
+  TaskNode* close = close_factory_(slot);
+  g->close = close;
+  void* storage =
+      lockfree_ ? process_write_lockfree(st, slot, close, e, access.bytes,
+                                         /*also_reads=*/true, g)
+                : process_write(st, slot, close, e, access.bytes,
+                                /*also_reads=*/true, g);
+  if (access.dir == Dir::Commutative && !close->copy_ins.empty()) {
+    // Renamed commutative storage: the inherit copies must land before the
+    // first member's writes, not at close retire — move them onto the group,
+    // where the first member to execute claims them under the token.
+    SMPSS_ASSERT(close->copy_ins.size() <= 2);
+    g->init_count = 0;
+    for (const CopyIn& c : close->copy_ins) g->init_copies[g->init_count++] = c;
+    close->copy_ins.clear();
+    g->init_pending.store(true, std::memory_order_relaxed);
+  }
+  register_open_group(g);
+  g->ready.store(true, std::memory_order_release);
+  // The opener is the group's first member.
+  g->mu.lock();
+  join_member(st, task, g);
+  g->mu.unlock();
+  return storage;
+}
+
+void DependencyAnalyzer::join_member(CounterStripe& st, TaskNode* task,
+                                     AccessGroup* g) {
+  Version* prev = g->prev;
+  if (g->mode == Dir::Commutative) {
+    // Members read-modify-write the group storage directly: each orders
+    // after the superseded version's producer (RAW on the inherited value —
+    // also covers in-place reuse of unproduced storage) …
+    if (prev != nullptr && !available_to(task, prev)) {
+      add_edge(st, prev->producer(), task, EdgeKind::True);
+    }
+    // … and, with renaming off (in-place in user storage), after its still-
+    // pending readers. Mutual exclusion among members is not an edge at all:
+    // the scheduler arbitrates the shared token at acquire time.
+    if (!renaming_ && prev != nullptr) {
+      for (TaskNode* r : prev->reader_tasks()) {
+        if (r != task && !r->finished_hint() && !task->has_ancestor(r)) {
+          add_edge(st, r, task, EdgeKind::Anti);
+        }
+      }
+    }
+    // A task naming the same commutative datum twice must not carry the
+    // token twice — the all-or-nothing acquire would deadlock against its
+    // own first copy.
+    bool have_token = false;
+    for (std::size_t i = 0; i < task->conflicts.size(); ++i)
+      have_token |= task->conflicts[i] == &g->token;
+    if (!have_token) {
+      g->add_ref();
+      task->conflicts.push_back(&g->token);
+    }
+  } else {
+    // Concurrent members touch only their worker-private buffer, so they
+    // need no ordering whatsoever — the close node (which owns the inherit
+    // copy and the combine) carries the group's data dependences.
+    g->add_ref();
+    task->reduce_fixups.push_back(TaskNode::ReduceFixup{
+        static_cast<std::uint32_t>(task->resolved.size()), g});
+  }
+  st.group_joins.fetch_add(1, std::memory_order_relaxed);
+  // The Member edge is the close node's completion count — not an ordering
+  // constraint on the member.
+  add_edge(st, task, g->close, EdgeKind::Member);
+}
+
+void DependencyAnalyzer::seal_group(CounterStripe& st, AccessGroup* g) {
+  // The group may be published but not yet initialized (lock-free path).
+  while (!g->ready.load(std::memory_order_acquire)) cpu_relax();
+  bool winner = false;
+  g->mu.lock();
+  if (g->open.load(std::memory_order_relaxed)) {
+    g->open.store(false, std::memory_order_relaxed);
+    winner = true;
+  }
+  g->mu.unlock();
+  if (!winner) return;
+  st.groups_closed.fetch_add(1, std::memory_order_relaxed);
+  // Drop the close node's open-guard; if every member already finished, the
+  // node is ready for Runtime::retire_close now.
+  TaskNode* close = g->close;
+  if (close->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    push_pending_close(close);
+  }
+}
+
+void DependencyAnalyzer::push_pending_close(TaskNode* close) noexcept {
+  TaskNode* head = pending_closes_.load(std::memory_order_relaxed);
+  do {
+    close->queue_next = head;
+  } while (!pending_closes_.compare_exchange_weak(head, close,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed));
+}
+
+void DependencyAnalyzer::register_open_group(AccessGroup* g) {
+  std::lock_guard<std::mutex> lk(groups_mu_);
+  // Lazy prune: sealed groups need no barrier attention.
+  auto dead = std::remove_if(open_groups_.begin(), open_groups_.end(),
+                             [](AccessGroup* og) {
+                               if (og->open.load(std::memory_order_acquire))
+                                 return false;
+                               og->release();
+                               return true;
+                             });
+  open_groups_.erase(dead, open_groups_.end());
+  g->add_ref();
+  open_groups_.push_back(g);
+}
+
+void DependencyAnalyzer::close_open_groups() {
+  std::vector<AccessGroup*> snap;
+  {
+    std::lock_guard<std::mutex> lk(groups_mu_);
+    snap.swap(open_groups_);
+  }
+  CounterStripe& st = stripes_[0];
+  for (AccessGroup* g : snap) {
+    seal_group(st, g);
+    g->release();
+  }
 }
 
 void DependencyAnalyzer::flush_all() {
@@ -544,6 +796,10 @@ DependencyAnalyzer::Counters DependencyAnalyzer::counters_snapshot() const {
     out.tracked_objects +=
         st.tracked_objects.load(std::memory_order_relaxed);
     out.cas_retries += st.cas_retries.load(std::memory_order_relaxed);
+    out.groups_opened += st.groups_opened.load(std::memory_order_relaxed);
+    out.group_joins += st.group_joins.load(std::memory_order_relaxed);
+    out.groups_closed += st.groups_closed.load(std::memory_order_relaxed);
+    out.commute_edges += st.commute_edges.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -43,8 +43,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/cache.hpp"
 #include "common/slab_pool.hpp"
@@ -55,6 +57,8 @@
 #include "graph/task.hpp"
 
 namespace smpss {
+
+struct AccessGroup;  // dep/access_group.hpp
 
 class DependencyAnalyzer {
  public:
@@ -69,6 +73,11 @@ class DependencyAnalyzer {
     std::uint64_t copyback_bytes = 0; // barrier/wait_on realignment copies
     std::uint64_t tracked_objects = 0;
     std::uint64_t cas_retries = 0;    // lost publication/pin races (lock-free)
+    std::uint64_t groups_opened = 0;  // commuting groups created
+    std::uint64_t group_joins = 0;    // member tasks joined onto open groups
+    std::uint64_t groups_closed = 0;  // groups sealed (non-matching access,
+                                      // size/op mismatch, or barrier)
+    std::uint64_t commute_edges = 0;  // member → group-close completion edges
 
     Counters& operator+=(const Counters& o) noexcept {
       accesses += o.accesses;
@@ -81,6 +90,10 @@ class DependencyAnalyzer {
       copyback_bytes += o.copyback_bytes;
       tracked_objects += o.tracked_objects;
       cas_retries += o.cas_retries;
+      groups_opened += o.groups_opened;
+      group_joins += o.group_joins;
+      groups_closed += o.groups_closed;
+      commute_edges += o.commute_edges;
       return *this;
     }
   };
@@ -108,6 +121,38 @@ class DependencyAnalyzer {
   /// without it, only renamed inputs reach `task->reads` and inout chains
   /// are invisible to critical-path priorities. Set before any submission.
   void set_track_raw_preds(bool on) noexcept { track_raw_preds_ = on; }
+
+  // --- commuting groups (Dir::Commutative / Dir::Concurrent) ----------------
+  // A run of consecutive matching commutative/concurrent accesses to one
+  // datum forms an AccessGroup: one synthetic "close" TaskNode stands in as
+  // the version producer, members take a Member completion edge to it and no
+  // edges among themselves. See dep/access_group.hpp for the full scheme.
+
+  /// The Runtime installs a factory that allocates a group-close TaskNode
+  /// (arena slot, seq number, recorder entry). Must be set before the first
+  /// commutative/concurrent access is processed.
+  void set_close_factory(std::function<TaskNode*(unsigned slot)> f) {
+    close_factory_ = std::move(f);
+  }
+
+  /// Seal every still-open group (barrier / wait_on: later accesses must
+  /// order after the whole group). Close nodes whose membership is already
+  /// complete land on the pending-close stack.
+  void close_open_groups();
+
+  /// True if some group-close node became ready during analysis on any
+  /// thread and awaits Runtime::retire_close. Cheap enough for the submit
+  /// fast path.
+  bool has_pending_closes() const noexcept {
+    return pending_closes_.load(std::memory_order_relaxed) != nullptr;
+  }
+
+  /// Drain the ready group-close stack (linked through queue_next). The
+  /// Runtime retires each node; the list is snapshot-and-detached, so
+  /// concurrent pushes land on the next drain.
+  TaskNode* take_pending_closes() noexcept {
+    return pending_closes_.exchange(nullptr, std::memory_order_acq_rel);
+  }
 
   // --- sharding (two-phase acquisition is the Runtime's job; locked mode) ---
 
@@ -179,6 +224,10 @@ class DependencyAnalyzer {
     std::atomic<std::uint64_t> copyback_bytes{0};
     std::atomic<std::uint64_t> tracked_objects{0};
     std::atomic<std::uint64_t> cas_retries{0};
+    std::atomic<std::uint64_t> groups_opened{0};
+    std::atomic<std::uint64_t> group_joins{0};
+    std::atomic<std::uint64_t> groups_closed{0};
+    std::atomic<std::uint64_t> commute_edges{0};
   };
   static constexpr unsigned kStripes = 16;  // power of two
 
@@ -231,10 +280,22 @@ class DependencyAnalyzer {
   void* process_read(CounterStripe& st, TaskNode* task, DataEntry& e,
                      std::size_t bytes);
   void* process_write(CounterStripe& st, unsigned slot, TaskNode* task,
-                      DataEntry& e, std::size_t bytes, bool also_reads);
+                      DataEntry& e, std::size_t bytes, bool also_reads,
+                      AccessGroup* group = nullptr);
   void* process_write_lockfree(CounterStripe& st, unsigned slot,
                                TaskNode* task, DataEntry& e, std::size_t bytes,
-                               bool also_reads);
+                               bool also_reads, AccessGroup* group = nullptr);
+  /// Commutative/concurrent access: join the open group at the chain head if
+  /// it matches, otherwise open a fresh group (sealing whatever was there).
+  void* process_commuting(CounterStripe& st, unsigned slot, TaskNode* task,
+                          DataEntry& e, const AccessDesc& access);
+  /// Wire `task` into open group `g` (caller holds g->mu, head verified).
+  void join_member(CounterStripe& st, TaskNode* task, AccessGroup* g);
+  /// Seal `g` if still open; the winner drops the close node's open-guard
+  /// and, if membership is already complete, pushes it on pending_closes_.
+  void seal_group(CounterStripe& st, AccessGroup* g);
+  void push_pending_close(TaskNode* close) noexcept;
+  void register_open_group(AccessGroup* g);
 
   RenamePool& pool_;
   bool renaming_;
@@ -242,9 +303,20 @@ class DependencyAnalyzer {
   bool track_raw_preds_ = false;
   GraphRecorder* recorder_;
   unsigned shard_mask_;  // shard count is a power of two
+  unsigned workers_;     ///< sizes per-worker reduction privates (owner_slots)
   std::unique_ptr<Shard[]> shards_;
   std::unique_ptr<CounterStripe[]> stripes_;
   SlabPool vpool_;  ///< type-stable Version blocks (see dep/version.hpp)
+
+  std::function<TaskNode*(unsigned slot)> close_factory_;
+  /// Ready group-close nodes (Treiber stack through TaskNode::queue_next),
+  /// awaiting Runtime::retire_close. Per-analyzer so concurrently live
+  /// runtimes never retire each other's nodes.
+  std::atomic<TaskNode*> pending_closes_{nullptr};
+  /// Registry of groups that may still be open, so barriers can seal them.
+  /// Holds one group ref per entry; sealed groups are pruned lazily.
+  std::mutex groups_mu_;
+  std::vector<AccessGroup*> open_groups_;
 };
 
 }  // namespace smpss

@@ -13,6 +13,7 @@ void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
     case EdgeKind::True: ++counters_.raw_edges; break;
     case EdgeKind::Anti: ++counters_.war_edges; break;
     case EdgeKind::Output: ++counters_.waw_edges; break;
+    case EdgeKind::Member: break;  // never emitted by the region analyzer
   }
   if (recorder_) recorder_->record_edge(pred->seq, succ->seq, kind);
   // Per-stream accounting mirrors the address-mode analyzer: the edge is
@@ -23,6 +24,10 @@ void RegionAnalyzer::add_edge(TaskNode* pred, TaskNode* succ, EdgeKind kind) {
 
 void* RegionAnalyzer::process(TaskNode* task, const AccessDesc& access) {
   SMPSS_ASSERT(access.has_region);
+  // Belt-and-braces: Runtime::route_access diagnoses this with a proper
+  // message before dispatching here; commuting modes never reach regions.
+  SMPSS_CHECK(!is_commuting(access.dir),
+              "commutative/concurrent access modes are address-mode only");
   ++counters_.accesses;
   if (task->account)
     task->account->accesses.fetch_add(1, std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "dep/access_group.hpp"
 #include "dep/renaming.hpp"
 
 namespace smpss {
@@ -38,12 +39,14 @@ Version::Version(DataEntry* entry, void* storage, std::size_t bytes,
       account_(account),
       producer_(producer),
       vpool_(vpool),
+      group_(nullptr),
       produced_(producer == nullptr) {  // initial versions are already valid
   if (producer_) producer_->add_ref();
 }
 
 Version::~Version() {
   if (producer_) producer_->release();
+  if (group_) group_->release();
   for (TaskNode* t : reader_tasks_) t->release();
 }
 

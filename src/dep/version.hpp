@@ -54,6 +54,7 @@ namespace smpss {
 class RenamePool;
 struct DataEntry;
 struct SubmitterAccount;  // dep/renaming.hpp
+struct AccessGroup;       // dep/access_group.hpp
 
 class Version {
  public:
@@ -134,6 +135,13 @@ class Version {
   SubmitterAccount* account() const noexcept { return account_; }
   DataEntry* entry() const noexcept { return entry_; }
   TaskNode* producer() const noexcept { return producer_; }
+
+  /// Commuting access group this version is the target of (null for normal
+  /// versions). Takes over one group ref; set before publication, cleared
+  /// (with the ref released) only by the destructor. Joiners key off it to
+  /// recognize an open group at the chain head.
+  void set_group(AccessGroup* g) noexcept { group_ = g; }
+  AccessGroup* group() const noexcept { return group_; }
 
   bool is_produced() const noexcept {
     return produced_.load(std::memory_order_acquire);
@@ -224,6 +232,7 @@ class Version {
   SubmitterAccount* account_;  // stream charged for renamed storage, or null
   TaskNode* producer_;  // strong ref; null for initial versions
   SlabPool* vpool_;     // the type-stable pool this block came from
+  AccessGroup* group_;  // commuting group targeting this version, or null
   std::atomic<bool> produced_;
   SmallVector<TaskNode*, 4> reader_tasks_;  // strong refs, submission-order writes
 };

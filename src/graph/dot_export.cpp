@@ -39,6 +39,7 @@ void export_dot(std::ostream& os, const GraphRecorder& recorder,
     os << "  t" << e.from << " -> t" << e.to;
     if (e.kind == EdgeKind::Anti) os << " [style=dashed]";
     if (e.kind == EdgeKind::Output) os << " [style=dotted]";
+    if (e.kind == EdgeKind::Member) os << " [style=bold, color=gray]";
     os << ";\n";
   }
   os << "}\n";

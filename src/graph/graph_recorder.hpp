@@ -17,9 +17,12 @@
 namespace smpss {
 
 enum class EdgeKind : std::uint8_t {
-  True,  ///< RAW — the only kind present when renaming is enabled
-  Anti,  ///< WAR — appears only with renaming disabled
-  Output ///< WAW — appears only with renaming disabled
+  True,   ///< RAW — the only kind present when renaming is enabled
+  Anti,   ///< WAR — appears only with renaming disabled
+  Output, ///< WAW — appears only with renaming disabled
+  Member  ///< commuting-group member → group-close node (no ordering among
+          ///< members; see dep/access_group.hpp). Not a data dependence —
+          ///< the sched-sim treats it as a completion edge only.
 };
 
 class GraphRecorder {

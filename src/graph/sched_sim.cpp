@@ -26,6 +26,7 @@ struct SimNode {
   std::atomic<std::uint64_t> bl_ns{0};
   std::atomic<std::uint32_t> exec_tid{~0u};
   std::uint32_t pref_tid = ~0u;
+  std::uint64_t weight = 0;  ///< per-task cost hint (0 in replays)
   std::size_t idx = 0;  ///< position in the nodes() vector (replay only)
 };
 
@@ -200,7 +201,11 @@ std::vector<std::uint64_t> simulate_policy_order(
     if (f == index_of.end() || t == index_of.end()) continue;
     succs[f->second].push_back(t->second);
     ++pending[t->second];
-    if (e.kind == EdgeKind::True) preds[t->second].push_back(f->second);
+    // Member edges join the predecessor list too: a group-close node must
+    // order after its members in the replay (completion edge), exactly as
+    // the runtime's close retire does.
+    if (e.kind == EdgeKind::True || e.kind == EdgeKind::Member)
+      preds[t->second].push_back(f->second);
   }
 
   // Phase 1 — submission in invocation order. In the modeled regime every

@@ -30,6 +30,8 @@ class Version;            // dep/version.hpp
 struct SubmitterAccount;  // dep/renaming.hpp
 struct StreamState;       // runtime/stream.hpp
 class FutureState;        // runtime/stream.hpp
+struct AccessGroup;       // dep/access_group.hpp
+struct ConflictToken;     // sched/conflict.hpp
 
 /// Identifies a task *kind* (e.g. "sgemm_t"): used for scheduling priority,
 /// per-type statistics, and the Fig. 5 graph coloring.
@@ -227,6 +229,26 @@ class TaskNode {
   /// at completion (wait_on() quiescence accounting; see dep/version.hpp).
   SmallVector<std::atomic<int>*, 2> user_pending_slots;
 
+  // --- commuting access modes (dep/access_group.hpp) ------------------------
+
+  /// Exclusion tokens this task must hold while executing, one per
+  /// Dir::Commutative parameter (group ref held through the token). The
+  /// runtime acquires them all-or-nothing around policy acquire; sorted by
+  /// pointer so multi-token acquisition has a global order.
+  SmallVector<ConflictToken*, 1> conflicts;
+  /// Dir::Concurrent parameters: before the body runs, resolved[slot] is
+  /// patched to the executing worker's private reduction buffer.
+  struct ReduceFixup {
+    std::uint32_t slot;  ///< index into `resolved`
+    AccessGroup* group;  ///< strong group ref, released at retire
+  };
+  SmallVector<ReduceFixup, 1> reduce_fixups;
+  /// True for a group-close node: a bookkeeping task that is never enqueued
+  /// or executed — when its pending count reaches zero the runtime runs
+  /// retire_close() (combine privates / apply copy-ins, release versions)
+  /// instead of scheduling it.
+  bool is_group_close = false;
+
   // --- scheduling state -----------------------------------------------------
 
   /// Unsatisfied input dependencies + 1 creation guard. The guard keeps the
@@ -256,6 +278,10 @@ class TaskNode {
   /// written before queue publication, compared against the executing
   /// worker for the locality-hit statistics.
   std::uint32_t pref_tid = ~0u;
+  /// User cost hint in ns from TaskAttrs (0 = none). The aware policy's
+  /// cost_estimate prefers it over the type's default until measured
+  /// execution times take over.
+  std::uint64_t weight = 0;
 
   // --- nesting (only used with Config::nested_tasks) ------------------------
 

@@ -27,6 +27,15 @@ const char* to_string(SubmitShape s) noexcept {
   return "?";
 }
 
+const char* to_string(AccumMode a) noexcept {
+  switch (a) {
+    case AccumMode::None: return "none";
+    case AccumMode::Commutative: return "commutative";
+    case AccumMode::Concurrent: return "concurrent";
+  }
+  return "?";
+}
+
 std::string RunOptions::describe() const {
   std::ostringstream os;
   os << "mode=" << to_string(mode) << " shape=" << to_string(shape)
@@ -38,6 +47,7 @@ std::string RunOptions::describe() const {
      << " sched=" << to_string(cfg.scheduler_mode)
      << " policy=" << to_string(cfg.sched_policy)
      << " lockfree=" << cfg.dep_lockfree;
+  if (accum != AccumMode::None) os << " accum=" << to_string(accum);
   return os.str();
 }
 
@@ -111,6 +121,69 @@ struct RegionChainBody {
   }
 };
 
+// --- AccumMode bodies ----------------------------------------------------------
+// Same folds, plus one commuting write: add the produced value into the
+// step accumulator. Under Dir::Commutative `acc` is the shared cell itself
+// (the group token excludes concurrent members); under Dir::Concurrent it
+// is this worker's zero-initialized private, combined at group close.
+// Wrapping uint64 addition commutes, so both match oracle_step_sums
+// bit-exactly in any execution order.
+
+struct AddrAccumBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  template <typename... In>
+  void operator()(Cell* dst, Cell* acc, In... ins) const {
+    std::uint64_t h = value_seed(spec, t, p);
+    ((h = value_fold(h, *ins)), ...);
+    *dst = value_finish(spec, h, t, p);
+    *acc += *dst;
+  }
+};
+
+struct AddrChainAccumBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  void operator()(Cell* cell, Cell* acc) const {
+    std::uint64_t h = value_seed(spec, t, p);
+    h = value_fold(h, *cell);
+    *cell = value_finish(spec, h, t, p);
+    *acc += *cell;
+  }
+};
+
+struct RegionAccumBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  std::array<Interval, kMaxIntervals> iv;
+  std::uint32_t niv;
+
+  void operator()(Cell* dst, Cell* acc) const {
+    dst[p] = value_finish(spec, value_seed(spec, t, p), t, p);
+    *acc += dst[p];
+  }
+  template <typename... Rest>
+  void operator()(Cell* dst, Cell* acc, const Cell* src, Rest...) const {
+    std::uint64_t h = value_seed(spec, t, p);
+    for (std::uint32_t k = 0; k < niv; ++k)
+      for (long q = iv[k].lo; q <= iv[k].hi; ++q)
+        h = value_fold(h, src[q]);
+    dst[p] = value_finish(spec, h, t, p);
+    *acc += dst[p];
+  }
+};
+
+struct RegionChainAccumBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  void operator()(Cell* base, Cell* acc) const {
+    std::uint64_t h = value_seed(spec, t, p);
+    h = value_fold(h, base[p]);
+    base[p] = value_finish(spec, h, t, p);
+    *acc += base[p];
+  }
+};
+
 // --- arity dispatch -------------------------------------------------------------
 // rt.spawn's parameter list is compile-time; the generator's fan-in is a
 // runtime value. These switches instantiate one spawn per arity 0..8 and
@@ -174,6 +247,83 @@ void spawn_region(RT& rt, TaskType tt, const RegionBody& body,
   }
 }
 
+// --- AccumMode arity dispatch ---------------------------------------------------
+// The accumulator rides as the second parameter (body signature is
+// (dst, acc, ins...)): commutative(acc) under AccumMode::Commutative,
+// reduction(Plus{}, acc) under AccumMode::Concurrent. It is always an
+// address-mode parameter — commuting modes are whole-object only — even
+// when the surrounding task is lowered in region mode, which exercises
+// mixed region/address parameter routing on one task.
+
+template <std::size_t N, typename RT>
+void spawn_addr_accum_n(RT& rt, TaskType tt, const AddrAccumBody& body,
+                        Cell* dst, Cell* acc, AccumMode am,
+                        [[maybe_unused]] const std::array<
+                            const Cell*, kMaxAddressFanIn>& ins) {
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    if (am == AccumMode::Commutative)
+      rt.spawn(tt, body, out(dst), commutative(acc), in(ins[Is])...);
+    else
+      rt.spawn(tt, body, out(dst), reduction(Plus{}, acc), in(ins[Is])...);
+  }(std::make_index_sequence<N>{});
+}
+
+template <typename RT>
+void spawn_addr_accum(RT& rt, TaskType tt, const AddrAccumBody& body,
+                      Cell* dst, Cell* acc, AccumMode am,
+                      const std::array<const Cell*, kMaxAddressFanIn>& ins,
+                      std::size_t n) {
+  switch (n) {
+    case 0: spawn_addr_accum_n<0>(rt, tt, body, dst, acc, am, ins); break;
+    case 1: spawn_addr_accum_n<1>(rt, tt, body, dst, acc, am, ins); break;
+    case 2: spawn_addr_accum_n<2>(rt, tt, body, dst, acc, am, ins); break;
+    case 3: spawn_addr_accum_n<3>(rt, tt, body, dst, acc, am, ins); break;
+    case 4: spawn_addr_accum_n<4>(rt, tt, body, dst, acc, am, ins); break;
+    case 5: spawn_addr_accum_n<5>(rt, tt, body, dst, acc, am, ins); break;
+    case 6: spawn_addr_accum_n<6>(rt, tt, body, dst, acc, am, ins); break;
+    case 7: spawn_addr_accum_n<7>(rt, tt, body, dst, acc, am, ins); break;
+    case 8: spawn_addr_accum_n<8>(rt, tt, body, dst, acc, am, ins); break;
+    default:
+      SMPSS_CHECK(false,
+                  "address-mode fan-in exceeds kMaxAddressFanIn — lower this "
+                  "pattern in region mode (see address_mode_ok)");
+  }
+}
+
+template <std::size_t N, typename RT>
+void spawn_region_accum_n(RT& rt, TaskType tt, const RegionAccumBody& body,
+                          Cell* dst_row, Cell* acc, AccumMode am,
+                          [[maybe_unused]] const Cell* src_row) {
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    if (am == AccumMode::Commutative)
+      rt.spawn(tt, body, out(dst_row, Region{span_from(body.p, 1)}),
+               commutative(acc),
+               in(src_row, Region{bounds(body.iv[Is].lo, body.iv[Is].hi)})...);
+    else
+      rt.spawn(tt, body, out(dst_row, Region{span_from(body.p, 1)}),
+               reduction(Plus{}, acc),
+               in(src_row, Region{bounds(body.iv[Is].lo, body.iv[Is].hi)})...);
+  }(std::make_index_sequence<N>{});
+}
+
+template <typename RT>
+void spawn_region_accum(RT& rt, TaskType tt, const RegionAccumBody& body,
+                        Cell* dst_row, Cell* acc, AccumMode am,
+                        const Cell* src_row) {
+  switch (body.niv) {
+    case 0: spawn_region_accum_n<0>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 1: spawn_region_accum_n<1>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 2: spawn_region_accum_n<2>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 3: spawn_region_accum_n<3>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 4: spawn_region_accum_n<4>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 5: spawn_region_accum_n<5>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 6: spawn_region_accum_n<6>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 7: spawn_region_accum_n<7>(rt, tt, body, dst_row, acc, am, src_row); break;
+    case 8: spawn_region_accum_n<8>(rt, tt, body, dst_row, acc, am, src_row); break;
+    default: SMPSS_CHECK(false, "interval count exceeds kMaxIntervals");
+  }
+}
+
 // --- per-step submission ---------------------------------------------------------
 
 /// Spawn every point task of timestep `t`. Callable from the main thread
@@ -181,7 +331,8 @@ void spawn_region(RT& rt, TaskType tt, const RegionBody& body,
 /// sink (service mode).
 template <typename RT>
 void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
-                 PatternImage& img, LowerMode mode, long t) {
+                 PatternImage& img, LowerMode mode, long t,
+                 AccumMode am = AccumMode::None, Cell* accums = nullptr) {
   const long src_f = t > 0 ? (t - 1) % img.nfields : 0;
   const long dst_f = t % img.nfields;
   // The chain pattern on a single-row image is the in-place lowering: one
@@ -190,6 +341,7 @@ void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
   // through the general out() lowering like every other pattern.
   const bool in_place =
       spec.kind == PatternKind::Chain && img.nfields == 1 && t > 0;
+  Cell* acc = am != AccumMode::None ? &accums[t] : nullptr;
   Interval iv[kMaxIntervals];
   for (long p = 0; p < spec.width_at(t); ++p) {
     const std::size_t n = spec.dependencies(t, p, iv);
@@ -197,7 +349,14 @@ void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
     const std::int32_t p32 = static_cast<std::int32_t>(p);
     if (mode == LowerMode::Address) {
       if (in_place) {
-        rt.spawn(tt, AddrChainBody{spec, t32, p32}, inout(&img.at(0, p)));
+        if (am == AccumMode::None)
+          rt.spawn(tt, AddrChainBody{spec, t32, p32}, inout(&img.at(0, p)));
+        else if (am == AccumMode::Commutative)
+          rt.spawn(tt, AddrChainAccumBody{spec, t32, p32},
+                   inout(&img.at(0, p)), commutative(acc));
+        else
+          rt.spawn(tt, AddrChainAccumBody{spec, t32, p32},
+                   inout(&img.at(0, p)), reduction(Plus{}, acc));
         continue;
       }
       std::array<const Cell*, kMaxAddressFanIn> ins{};
@@ -208,16 +367,38 @@ void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
                       "address-mode fan-in exceeds kMaxAddressFanIn");
           ins[c++] = &img.at(src_f, q);
         }
-      spawn_addr(rt, tt, AddrBody{spec, t32, p32}, &img.at(dst_f, p), ins, c);
+      if (am == AccumMode::None)
+        spawn_addr(rt, tt, AddrBody{spec, t32, p32}, &img.at(dst_f, p), ins,
+                   c);
+      else
+        spawn_addr_accum(rt, tt, AddrAccumBody{spec, t32, p32},
+                         &img.at(dst_f, p), acc, am, ins, c);
     } else {
       if (in_place) {
-        rt.spawn(tt, RegionChainBody{spec, t32, p32},
-                 inout(img.row(0), Region{span_from(p, 1)}));
+        if (am == AccumMode::None)
+          rt.spawn(tt, RegionChainBody{spec, t32, p32},
+                   inout(img.row(0), Region{span_from(p, 1)}));
+        else if (am == AccumMode::Commutative)
+          rt.spawn(tt, RegionChainAccumBody{spec, t32, p32},
+                   inout(img.row(0), Region{span_from(p, 1)}),
+                   commutative(acc));
+        else
+          rt.spawn(tt, RegionChainAccumBody{spec, t32, p32},
+                   inout(img.row(0), Region{span_from(p, 1)}),
+                   reduction(Plus{}, acc));
         continue;
       }
-      RegionBody body{spec, t32, p32, {}, static_cast<std::uint32_t>(n)};
-      std::copy(iv, iv + n, body.iv.begin());
-      spawn_region(rt, tt, body, img.row(dst_f), img.row(src_f));
+      if (am == AccumMode::None) {
+        RegionBody body{spec, t32, p32, {}, static_cast<std::uint32_t>(n)};
+        std::copy(iv, iv + n, body.iv.begin());
+        spawn_region(rt, tt, body, img.row(dst_f), img.row(src_f));
+      } else {
+        RegionAccumBody body{spec, t32, p32, {},
+                             static_cast<std::uint32_t>(n)};
+        std::copy(iv, iv + n, body.iv.begin());
+        spawn_region_accum(rt, tt, body, img.row(dst_f), acc, am,
+                           img.row(src_f));
+      }
     }
   }
 }
@@ -226,19 +407,21 @@ void submit_step(RT& rt, TaskType tt, const PatternSpec& spec,
 
 void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
                     LowerMode mode, SubmitShape shape, bool join_steps,
-                    Cell* sentinel) {
+                    Cell* sentinel, AccumMode accum, Cell* accums) {
   spec.validate();
   SMPSS_CHECK(img.width == spec.width && img.nfields >= min_fields(spec),
               "image does not match the pattern spec");
   if (mode == LowerMode::Address)
     SMPSS_CHECK(address_mode_ok(spec),
                 "pattern fan-in too wide for address mode — use region mode");
+  SMPSS_CHECK(accum == AccumMode::None || accums != nullptr,
+              "AccumMode needs a spec.steps-cell accumulator array");
   TaskType point = rt.register_task_type(
       std::string("pattern_point:") + to_string(spec.kind));
 
   if (shape == SubmitShape::Flat) {
     for (long t = 0; t < spec.steps; ++t)
-      submit_step(rt, point, spec, img, mode, t);
+      submit_step(rt, point, spec, img, mode, t, accum, accums);
     return;
   }
 
@@ -256,9 +439,10 @@ void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
     // step t freely overlaps the submission of step t+1: the analyzers see
     // concurrent submit/retire traffic with real cross-step dependencies.
     rt.spawn(step,
-             [rtp, imgp, spec, point, mode, t, join_steps](Cell* token) {
+             [rtp, imgp, spec, point, mode, t, join_steps, accum,
+              accums](Cell* token) {
                *token = value_fold(*token, static_cast<Cell>(t));
-               submit_step(*rtp, point, spec, *imgp, mode, t);
+               submit_step(*rtp, point, spec, *imgp, mode, t, accum, accums);
                if (join_steps) rtp->taskwait();
              },
              inout(sentinel));
@@ -286,10 +470,13 @@ RunResult run_pattern(const PatternSpec& spec, const RunOptions& opt) {
   PatternImage img = make_initial_image(spec, nf);
   Cell sentinel = 0;
   RunResult res;
+  if (opt.accum != AccumMode::None)
+    res.accums.assign(static_cast<std::size_t>(spec.steps), 0);
   {
     Runtime rt(opt.cfg);
     submit_pattern(rt, spec, img, opt.mode, opt.shape, opt.join_steps,
-                   &sentinel);
+                   &sentinel, opt.accum,
+                   res.accums.empty() ? nullptr : res.accums.data());
     rt.barrier();
     res.stats = rt.stats();
   }

@@ -54,6 +54,18 @@ const char* to_string(LowerMode m) noexcept;
 enum class SubmitShape : std::uint8_t { Flat, NestedSteps };
 const char* to_string(SubmitShape s) noexcept;
 
+/// Optional commuting-write side channel: every point task of timestep t
+/// additionally adds its produced value into one shared accumulator cell
+/// per step (wrapping uint64 addition, so any order is bit-exact against
+/// oracle_step_sums). Commutative lowers the accumulator parameter as
+/// `smpss::commutative(...)` — mutual exclusion, no ordering; Concurrent as
+/// `smpss::reduction(smpss::Plus{}, ...)` — per-worker privatization
+/// (requires Config::renaming). An all_to_all spec with AccumMode is the
+/// "all writers hit one datum" stress the ISSUE's commuting modes exist
+/// for: width tasks per step racing one token instead of chaining.
+enum class AccumMode : std::uint8_t { None, Commutative, Concurrent };
+const char* to_string(AccumMode a) noexcept;
+
 /// Address-mode spawn arity ceiling (input cells per task). Patterns whose
 /// max_fan_in exceeds it must run in region mode.
 inline constexpr long kMaxAddressFanIn = 8;
@@ -68,6 +80,7 @@ struct RunOptions {
   SubmitShape shape = SubmitShape::Flat;
   int nfields = 0;          ///< image rows; 0 = default_fields(spec)
   bool join_steps = false;  ///< NestedSteps: taskwait() before a step ends
+  AccumMode accum = AccumMode::None;  ///< per-step commuting accumulator
 
   /// One-line description for failure messages / replay logs.
   std::string describe() const;
@@ -76,9 +89,12 @@ struct RunOptions {
 /// Submit every task of `spec` over `img` (no barrier — the caller owns the
 /// Runtime and synchronizes/inspects it). `sentinel` must point at a cell
 /// that outlives the barrier when shape == NestedSteps; unused otherwise.
+/// With accum != None, `accums` must point at `spec.steps` zeroed cells
+/// outliving the barrier (one commuting accumulator per timestep).
 void submit_pattern(Runtime& rt, const PatternSpec& spec, PatternImage& img,
                     LowerMode mode, SubmitShape shape = SubmitShape::Flat,
-                    bool join_steps = false, Cell* sentinel = nullptr);
+                    bool join_steps = false, Cell* sentinel = nullptr,
+                    AccumMode accum = AccumMode::None, Cell* accums = nullptr);
 
 /// Service-mode lowering: submit every task of `spec` through `stream` in
 /// Flat (t, p) order. `point` must be pre-registered on the stream's
@@ -91,6 +107,7 @@ void submit_pattern_stream(StreamHandle& stream, TaskType point,
 struct RunResult {
   PatternImage image;
   StatsSnapshot stats;
+  std::vector<Cell> accums;  ///< per-step sums when opt.accum != None
 };
 
 /// Build the image, run the pattern to completion on a fresh Runtime, and

@@ -50,6 +50,26 @@ PatternImage run_oracle(const PatternSpec& spec, int nfields) {
   return img;
 }
 
+std::vector<Cell> oracle_step_sums(const PatternSpec& spec, int nfields) {
+  PatternImage img = make_initial_image(spec, nfields);
+  std::vector<Cell> sums(static_cast<std::size_t>(spec.steps), 0);
+  Interval iv[kMaxIntervals];
+  for (long t = 0; t < spec.steps; ++t) {
+    const long src = t > 0 ? (t - 1) % nfields : 0;
+    const long dst = t % nfields;
+    for (long p = 0; p < spec.width_at(t); ++p) {
+      const std::size_t n = spec.dependencies(t, p, iv);
+      std::uint64_t h = value_seed(spec, t, p);
+      for (std::size_t k = 0; k < n; ++k)
+        for (long q = iv[k].lo; q <= iv[k].hi; ++q)
+          h = value_fold(h, img.at(src, q));
+      img.at(dst, p) = value_finish(spec, h, t, p);
+      sums[static_cast<std::size_t>(t)] += img.at(dst, p);
+    }
+  }
+  return sums;
+}
+
 std::uint64_t image_checksum(const PatternImage& img) noexcept {
   std::uint64_t h = 0x636865636B73756Dull;  // "checksum"
   for (const Cell& c : img.cells) h = mix64(h, c);

@@ -64,6 +64,13 @@ PatternImage make_initial_image(const PatternSpec& spec, int nfields);
 /// truth the differential harness compares every runtime configuration to.
 PatternImage run_oracle(const PatternSpec& spec, int nfields);
 
+/// Per-timestep wrapping sum of the produced cell values — the ground truth
+/// for the commutative/concurrent accumulator lowering (AccumMode): every
+/// point task of step t adds its produced value into one shared step
+/// accumulator, and uint64 wrapping addition commutes, so any execution
+/// order must land on exactly these sums. Returns `spec.steps` entries.
+std::vector<Cell> oracle_step_sums(const PatternSpec& spec, int nfields);
+
 /// Order-sensitive digest of an image (bench sanity + failure messages).
 std::uint64_t image_checksum(const PatternImage& img) noexcept;
 

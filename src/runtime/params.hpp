@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -60,6 +62,96 @@ struct RegionParam {
   Region region;
   Dir dir;
 };
+template <typename T>
+struct CommutativeParam {
+  T* ptr;
+  std::size_t count;
+};
+template <typename T>
+struct ReductionParam {
+  T* ptr;
+  std::size_t count;
+  ReductionOp op;
+};
+
+/// Optional per-spawn hints, passed as the first spawn argument:
+///
+///     rt.spawn(smpss::TaskAttrs{.weight = 2500, .name = "potrf"},
+///              type, body, smpss::inout(blk, n));
+///
+/// `weight` is the user's execution-cost estimate in nanoseconds; the aware
+/// scheduling policy prefers it over its cost-EWMA until real measurements
+/// arrive (and the paper policy ignores it). `name` labels the task in
+/// traces. Both default to "no hint".
+struct TaskAttrs {
+  std::uint64_t weight = 0;    ///< cost hint in ns (0 = no hint)
+  const char* name = nullptr;  ///< trace/debug label (nullptr = type name)
+};
+
+// --- reduction operator tags -------------------------------------------------
+
+/// Built-in reduction operators for `smpss::reduction(Op{}, ptr, n)`. Each
+/// tag expands (per element type) to a type-erased ReductionOp: `init` seeds
+/// a per-worker private with the identity, `combine` folds it into the
+/// master. User-defined operators pass a ReductionOp directly.
+struct Plus {};
+struct Min {};
+struct Max {};
+
+namespace detail {
+
+template <typename Tag, typename T>
+struct ReduceOps;
+
+template <typename T>
+struct ReduceOps<Plus, T> {
+  static void init(void* priv, std::size_t bytes) {
+    T* p = static_cast<T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i) p[i] = T{};
+  }
+  static void combine(void* into, const void* priv, std::size_t bytes) {
+    T* a = static_cast<T*>(into);
+    const T* b = static_cast<const T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i) a[i] += b[i];
+  }
+};
+
+template <typename T>
+struct ReduceOps<Min, T> {
+  static void init(void* priv, std::size_t bytes) {
+    T* p = static_cast<T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      p[i] = std::numeric_limits<T>::max();
+  }
+  static void combine(void* into, const void* priv, std::size_t bytes) {
+    T* a = static_cast<T*>(into);
+    const T* b = static_cast<const T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      if (b[i] < a[i]) a[i] = b[i];
+  }
+};
+
+template <typename T>
+struct ReduceOps<Max, T> {
+  static void init(void* priv, std::size_t bytes) {
+    T* p = static_cast<T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      p[i] = std::numeric_limits<T>::lowest();
+  }
+  static void combine(void* into, const void* priv, std::size_t bytes) {
+    T* a = static_cast<T*>(into);
+    const T* b = static_cast<const T*>(priv);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      if (b[i] > a[i]) a[i] = b[i];
+  }
+};
+
+template <typename Tag, typename T>
+ReductionOp reduce_op_for() {
+  return ReductionOp{&ReduceOps<Tag, T>::init, &ReduceOps<Tag, T>::combine};
+}
+
+}  // namespace detail
 
 // --- factory functions -------------------------------------------------------
 
@@ -82,6 +174,81 @@ ValParam<std::decay_t<T>> value(T&& v) {
 template <typename T>
 OpaqueParam<T> opaque(T* p) {
   return {p};
+}
+
+/// Commutative access: the task reads and writes the datum, tasks in the
+/// group mutually exclude, but the runtime imposes no order among them.
+template <typename T>
+CommutativeParam<T> commutative(T* p, std::size_t count = 1) {
+  return {p, count};
+}
+
+/// Concurrent (reduction) access: every task in the group accumulates into a
+/// per-worker private copy seeded with Op's identity; the runtime combines
+/// the privates into the master when the group closes. No ordering, no
+/// mutual exclusion.
+template <typename Op, typename T>
+ReductionParam<T> reduction(Op, T* p, std::size_t count = 1) {
+  return {p, count, detail::reduce_op_for<Op, T>()};
+}
+/// User-supplied operator variant: pass the type-erased ReductionOp directly.
+template <typename T>
+ReductionParam<T> reduction(ReductionOp op, T* p, std::size_t count = 1) {
+  return {p, count, op};
+}
+
+// --- single-object reference forms ------------------------------------------
+//
+// The redesigned call-site style: `smpss::in(x)` / `out(x)` / `inout(x)` /
+// `commutative(x)` taking the object itself, plus array-reference forms that
+// deduce the element count. The (pointer, count) factories above remain as
+// compatibility shims for existing call sites and generated code.
+
+template <typename T>
+  requires(!std::is_pointer_v<T> && !std::is_array_v<T>)
+InParam<T> in(const T& x) {
+  return {&x, 1};
+}
+template <typename T>
+  requires(!std::is_pointer_v<T> && !std::is_array_v<T>)
+OutParam<T> out(T& x) {
+  return {&x, 1};
+}
+template <typename T>
+  requires(!std::is_pointer_v<T> && !std::is_array_v<T>)
+InOutParam<T> inout(T& x) {
+  return {&x, 1};
+}
+template <typename T>
+  requires(!std::is_pointer_v<T> && !std::is_array_v<T>)
+CommutativeParam<T> commutative(T& x) {
+  return {&x, 1};
+}
+template <typename Op, typename T>
+  requires(!std::is_pointer_v<T> && !std::is_array_v<T>)
+ReductionParam<T> reduction(Op op, T& x) {
+  return reduction(op, &x, 1);
+}
+
+template <typename T, std::size_t N>
+InParam<T> in(const T (&a)[N]) {
+  return {a, N};
+}
+template <typename T, std::size_t N>
+OutParam<T> out(T (&a)[N]) {
+  return {a, N};
+}
+template <typename T, std::size_t N>
+InOutParam<T> inout(T (&a)[N]) {
+  return {a, N};
+}
+template <typename T, std::size_t N>
+CommutativeParam<T> commutative(T (&a)[N]) {
+  return {a, N};
+}
+template <typename Op, typename T, std::size_t N>
+ReductionParam<T> reduction(Op op, T (&a)[N]) {
+  return reduction(op, static_cast<T*>(a), N);
 }
 
 /// Region-qualified accesses (Sec. V.A). The region is given in element
@@ -115,7 +282,7 @@ struct ParamTraits<InParam<T>> {
   using arg_type = const T*;
   static AccessDesc desc(const InParam<T>& p) {
     return AccessDesc{const_cast<T*>(p.ptr), p.count * sizeof(T), Dir::In,
-                      false, Region{}};
+                      false, Region{}, ReductionOp{}};
   }
   static arg_type resolve(const InParam<T>&, void* storage) {
     return static_cast<const T*>(storage);
@@ -128,7 +295,8 @@ struct ParamTraits<OutParam<T>> {
   static constexpr bool directional = true;
   using arg_type = T*;
   static AccessDesc desc(const OutParam<T>& p) {
-    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::Out, false, Region{}};
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::Out, false, Region{},
+                      ReductionOp{}};
   }
   static arg_type resolve(const OutParam<T>&, void* storage) {
     return static_cast<T*>(storage);
@@ -141,7 +309,8 @@ struct ParamTraits<InOutParam<T>> {
   static constexpr bool directional = true;
   using arg_type = T*;
   static AccessDesc desc(const InOutParam<T>& p) {
-    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::InOut, false, Region{}};
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::InOut, false, Region{},
+                      ReductionOp{}};
   }
   static arg_type resolve(const InOutParam<T>&, void* storage) {
     return static_cast<T*>(storage);
@@ -150,12 +319,40 @@ struct ParamTraits<InOutParam<T>> {
 };
 
 template <typename T>
+struct ParamTraits<CommutativeParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = T*;
+  static AccessDesc desc(const CommutativeParam<T>& p) {
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::Commutative, false,
+                      Region{}, ReductionOp{}};
+  }
+  static arg_type resolve(const CommutativeParam<T>&, void* storage) {
+    return static_cast<T*>(storage);
+  }
+  static arg_type raw(const CommutativeParam<T>& p) { return p.ptr; }
+};
+
+template <typename T>
+struct ParamTraits<ReductionParam<T>> {
+  static constexpr bool directional = true;
+  using arg_type = T*;
+  static AccessDesc desc(const ReductionParam<T>& p) {
+    return AccessDesc{p.ptr, p.count * sizeof(T), Dir::Concurrent, false,
+                      Region{}, p.op};
+  }
+  static arg_type resolve(const ReductionParam<T>&, void* storage) {
+    return static_cast<T*>(storage);
+  }
+  static arg_type raw(const ReductionParam<T>& p) { return p.ptr; }
+};
+
+template <typename T>
 struct ParamTraits<RegionParam<T>> {
   static constexpr bool directional = true;
   using arg_type = T*;
   static AccessDesc desc(const RegionParam<T>& p) {
     return AccessDesc{const_cast<std::remove_const_t<T>*>(p.base),
-                      /*bytes=*/0, p.dir, true, p.region};
+                      /*bytes=*/0, p.dir, true, p.region, ReductionOp{}};
   }
   static arg_type resolve(const RegionParam<T>&, void* storage) {
     return static_cast<T*>(storage);

@@ -1,11 +1,14 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/affinity.hpp"
 #include "common/timing.hpp"
+#include "dep/access_group.hpp"
 #include "runtime/thread_context.hpp"
 #include "runtime/worker.hpp"
+#include "sched/conflict.hpp"
 
 namespace smpss {
 
@@ -31,6 +34,16 @@ Runtime::Runtime(Config cfg)
   // The aware policy's submit hook needs every RAW producer in task->reads,
   // including in-place-reused inouts (see set_track_raw_preds).
   dep_.set_track_raw_preds(policy_->wants_submit_hook());
+  // Commuting groups (Dir::Commutative/Concurrent) need a never-scheduled
+  // close node per group; it gets a sequence number and a graph-node record
+  // like any task so DOT/sched-sim see the group's version producer.
+  dep_.set_close_factory([this](unsigned slot) {
+    TaskNode* c = allocate_task(slot);
+    c->is_group_close = true;
+    c->seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    recorder_.record_node(c->seq, 0);
+    return c;
+  });
   tracer_.init(cfg_.num_threads, cfg_.tracing);
   types_.push_back(TaskTypeInfo{"task", false});
 
@@ -92,6 +105,8 @@ Runtime::~Runtime() {
     // Every task retired above, so the per-stream drains are no-ops here —
     // this just closes the phases (late submits diagnose, not vanish).
     shutdown_streams();
+    dep_.close_open_groups();
+    if (dep_.has_pending_closes()) drain_group_closes();
     dep_.flush_all();
     regions_.flush_all();
   }
@@ -117,9 +132,31 @@ TaskType Runtime::register_task_type(std::string name, bool high_priority) {
   return TaskType{static_cast<std::uint32_t>(types_.size() - 1)};
 }
 
+TaskType Runtime::find_task_type(const char* name) const noexcept {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == name)
+      return TaskType{static_cast<std::uint32_t>(i)};
+  return TaskType{0};
+}
+
 void* Runtime::route_access(TaskNode* t, const AccessDesc& d,
                             bool check_region_table) {
   SMPSS_CHECK(d.addr != nullptr, "null pointer passed as task parameter");
+  if (is_commuting(d.dir)) {
+    // Diagnose invalid mode combinations at spawn time, before any tracking
+    // state is touched — the misuse surfaces at the offending spawn, not as
+    // a corrupted graph later.
+    SMPSS_CHECK(!d.has_region,
+                "commutative/concurrent access modes are address-mode only "
+                "(region-qualified parameters cannot commute)");
+    if (d.dir == Dir::Concurrent) {
+      SMPSS_CHECK(cfg_.renaming,
+                  "reduction (concurrent) parameters require renaming "
+                  "(SMPSS_RENAMING=1) — privatization is built on it");
+      SMPSS_CHECK(d.op.valid(),
+                  "reduction parameter without a reduction operator");
+    }
+  }
   if (d.has_region) {
     SMPSS_CHECK(!dep_.tracks(d.addr),
                 "array accessed both with and without region specifiers");
@@ -263,6 +300,15 @@ void Runtime::policy_submit(TaskNode* t) {
 }
 
 void Runtime::submit(TaskNode* t) {
+  // A group this submission sealed (by issuing a non-matching access) may
+  // have had no unfinished members left — its close node is then queued on
+  // the analyzer, waiting for a runtime thread to retire it. Do it here:
+  // this very task may depend on the close's version.
+  if (dep_.has_pending_closes()) drain_group_closes();
+  // Multi-token tasks acquire their exclusion tokens in one global (pointer)
+  // order — the all-or-nothing acquire in acquire() depends on it.
+  if (t->conflicts.size() > 1)
+    std::sort(t->conflicts.begin(), t->conflicts.begin() + t->conflicts.size());
   spawned_.fetch_add(1, std::memory_order_relaxed);
   tasks_live_.fetch_add(1, std::memory_order_relaxed);
   policy_submit(t);
@@ -367,18 +413,45 @@ void Runtime::enqueue_ready(TaskNode* t, unsigned tid, bool at_creation) {
 
 TaskNode* Runtime::acquire(unsigned tid) {
   WorkerState& ws = worker_state_[tid];
-  AcquireSource src;
-  unsigned attempts = 0;
-  TaskNode* t = policy_->acquire(tid, ws.rng, src, attempts);
-  ws.counters.steal_attempts += attempts;
-  switch (src) {
-    case AcquireSource::HighPriority: ++ws.counters.acquired_high; break;
-    case AcquireSource::OwnList: ++ws.counters.acquired_own; break;
-    case AcquireSource::MainList: ++ws.counters.acquired_main; break;
-    case AcquireSource::Steal: ++ws.counters.steals; break;
-    case AcquireSource::None: break;
+  for (;;) {
+    AcquireSource src;
+    unsigned attempts = 0;
+    TaskNode* t = policy_->acquire(tid, ws.rng, src, attempts);
+    ws.counters.steal_attempts += attempts;
+    if (t != nullptr && !t->conflicts.empty()) {
+      // Commutative members mutually exclude on their group tokens. A
+      // ready-but-conflicted task is parked on the blocking token — not
+      // spun on, not returned to the lists — and the token's releaser
+      // re-enqueues it; this thread goes straight back to the lookup for
+      // other work. Park-then-recheck closes the lost-wakeup race where
+      // the holder drained the waiter stack between our failed CAS and
+      // the park.
+      if (ConflictToken* blocked = try_acquire_conflicts(t)) {
+        ++ws.counters.conflict_deferrals;
+        blocked->park(t);
+        if (blocked->free_now()) {
+          TaskNode* w = blocked->take_waiters();
+          while (w != nullptr) {
+            TaskNode* next = w->queue_next;
+            w->queue_next = nullptr;
+            enqueue_ready(w, tid, /*at_creation=*/false);
+            w = next;
+          }
+        }
+        continue;
+      }
+    }
+    if (t != nullptr) {
+      switch (src) {
+        case AcquireSource::HighPriority: ++ws.counters.acquired_high; break;
+        case AcquireSource::OwnList: ++ws.counters.acquired_own; break;
+        case AcquireSource::MainList: ++ws.counters.acquired_main; break;
+        case AcquireSource::Steal: ++ws.counters.steals; break;
+        case AcquireSource::None: break;
+      }
+    }
+    return t;
   }
-  return t;
 }
 
 bool Runtime::in_task_context() noexcept { return detail::tls.in_task_body; }
@@ -416,6 +489,15 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   // vote for the worker whose cache is being warmed right now.
   t->exec_tid.store(tid, std::memory_order_relaxed);
 
+  // Commuting-group entry. Commutative: this worker holds the group tokens
+  // (acquired in acquire() / the chain check); the first member to run
+  // performs the group's inherit copies under its token. Concurrent: patch
+  // the resolved parameter slots to this worker's private buffer — members
+  // never touch the shared group storage, the close combines privates.
+  for (ConflictToken* tok : t->conflicts) tok->group->maybe_init_copy();
+  for (const TaskNode::ReduceFixup& f : t->reduce_fixups)
+    t->resolved[f.slot] = f.group->private_for(tid);
+
   // Body timing feeds the tracer and/or the policy's cost table (the aware
   // policy wants the feedback even in untraced runs).
   const bool feedback = policy_->wants_exec_feedback();
@@ -448,14 +530,40 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
                                      arrived_by_chain ? 1u : 0u});
   }
 
+  // Release the group tokens FIRST — before the completion edges below can
+  // retire a close node — and wake the members parked on them. The member's
+  // group refs (token- and fixup-held) drop here too; the group object must
+  // not outlive its last member plus the close retire.
+  for (ConflictToken* tok : t->conflicts) {
+    AccessGroup* g = tok->group;
+    tok->release();
+    TaskNode* w = tok->take_waiters();
+    while (w != nullptr) {
+      TaskNode* next = w->queue_next;
+      w->queue_next = nullptr;
+      enqueue_ready(w, tid, /*at_creation=*/false);
+      ++ws.counters.conflict_wakeups;
+      w = next;
+    }
+    g->release();
+  }
+  for (const TaskNode::ReduceFixup& f : t->reduce_fixups) f.group->release();
+
   // Publish produced versions before releasing successors.
   for (Version* v : t->produces) v->mark_produced();
 
   auto successors = t->take_successors_and_complete();
   SmallVector<TaskNode*, 8> released;
   for (TaskNode* s : successors) {
-    if (s->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1)
-      released.push_back(s);
+    if (s->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (s->is_group_close) {
+        // The last member of a sealed group finished: retire the close node
+        // inline (it has no body — combine/copy/mark-produced only).
+        retire_close(s, tid);
+      } else {
+        released.push_back(s);
+      }
+    }
   }
 
   TaskNode* chain = nullptr;
@@ -470,7 +578,11 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
     // still subject to the chain_depth bound — past it, the high-priority
     // acquire path picks it up on the very next lookup.
     TaskNode* s = released[0];
-    if (allow_chain && !policy_->preempt_chain(s)) {
+    // A conflicted successor only chains if its tokens are free right now
+    // (all-or-nothing, same as acquire()); otherwise it goes to the lists —
+    // no parking here, the list-side acquire path handles the deferral.
+    if (allow_chain && !policy_->preempt_chain(s) &&
+        (s->conflicts.empty() || try_acquire_conflicts(s) == nullptr)) {
       chain = s;
     } else {
       enqueue_ready(s, tid, /*at_creation=*/false);
@@ -539,6 +651,72 @@ TaskNode* Runtime::execute_one(TaskNode* t, unsigned tid,
   return chain;
 }
 
+void Runtime::retire_close(TaskNode* close, unsigned tid) {
+  // A close node is not a task: it was never spawned (no live count, no
+  // policy placement, no parent, no stream), has no body, and holds no
+  // tokens. Its retire is the data half of execute_one's epilogue — plus
+  // the group-specific finalization.
+  //
+  // Unclaimed inherit copies first: a Commutative group whose members all
+  // finished ran maybe_init_copy() under the token, but a group sealed with
+  // zero members (open, immediately superseded) still owes the renamed
+  // storage its previous contents. The analyzer parks such copies on the
+  // close node's own copy_ins.
+  for (const CopyIn& c : close->copy_ins)
+    std::memcpy(c.dst, c.src, c.bytes);
+
+  // Concurrent: fold every worker's private into the group storage. The
+  // close's pending count ordered this after the last member.
+  if (!close->produces.empty()) {
+    Version* gv = close->produces[0];
+    if (AccessGroup* g = gv->group(); g != nullptr &&
+                                      g->mode == Dir::Concurrent)
+      g->combine_privates(gv->storage());
+  }
+
+  for (Version* v : close->produces) v->mark_produced();
+
+  auto successors = close->take_successors_and_complete();
+  for (TaskNode* s : successors) {
+    if (s->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (s->is_group_close) {
+        // Stacked groups (a lost publication race stacked two groups on one
+        // datum): the outer close may be the inner close's last dependency.
+        retire_close(s, tid);
+      } else {
+        // Foreign threads must use the creation path: the released paths
+        // index per-worker structures a foreign tid does not own.
+        enqueue_ready(s, tid, /*at_creation=*/tid == kForeignTid);
+      }
+    }
+  }
+
+  for (Version* v : close->reads) v->reader_finished(pool_);
+  for (std::atomic<int>* slot : close->user_pending_slots) {
+    const int prev = slot->fetch_sub(1, std::memory_order_acq_rel);
+    SMPSS_ASSERT(prev > 0);
+    (void)prev;
+  }
+  for (Version* v : close->produces) v->release(pool_);
+  close->release();
+}
+
+void Runtime::drain_group_closes() {
+  // Groups sealed on the submission path (non-matching access, barrier,
+  // wait_on) queue their close nodes on the analyzer; nothing else will
+  // retire them.
+  while (dep_.has_pending_closes()) {
+    TaskNode* c = dep_.take_pending_closes();
+    const unsigned tid = submitter_tid();
+    while (c != nullptr) {
+      TaskNode* next = c->queue_next;
+      c->queue_next = nullptr;
+      retire_close(c, tid);
+      c = next;
+    }
+  }
+}
+
 void Runtime::help_once() {
   if (TaskNode* t = acquire(0)) {
     execute_task(t, 0);
@@ -598,10 +776,19 @@ void Runtime::barrier() {
   SMPSS_CHECK(on_main_thread() && !in_task_context(),
               "barrier is main-thread-only and may not be called inside a "
               "task body — use taskwait() to wait for child tasks");
+  // Seal every open commuting group — a barrier is a non-matching access to
+  // everything — and retire any close that is already free; closes whose
+  // members are still running retire on the worker that finishes last.
+  dep_.close_open_groups();
+  if (dep_.has_pending_closes()) drain_group_closes();
   while (tasks_live_.load(std::memory_order_acquire) > 0) help_once();
-  // All tasks retired (and with them all possible nested submitters): align
-  // renamed data back into program storage and drop all dependency state;
-  // the next spawn starts from a clean slate.
+  // All tasks retired (and with them all possible nested submitters): seal
+  // the groups those submitters opened *during* the wait (the first pass
+  // above cannot have seen them), align renamed data back into program
+  // storage, and drop all dependency state; the next spawn starts from a
+  // clean slate.
+  dep_.close_open_groups();
+  if (dep_.has_pending_closes()) drain_group_closes();
   dep_.flush_all();
   regions_.flush_all();
   ++barriers_;
@@ -611,6 +798,13 @@ void Runtime::wait_on_addr(const void* addr) {
   SMPSS_CHECK(on_main_thread() && !in_task_context(),
               "wait_on is main-thread-only and may not be called inside a "
               "task body");
+  // An open commuting group on this (or any) datum holds its version
+  // unproduced and its user-storage slots elevated; the main thread reading
+  // a result is a serialization point, so seal everything first — otherwise
+  // the quiescence probes below would wait forever on a group that only a
+  // future submission would close.
+  dep_.close_open_groups();
+  if (dep_.has_pending_closes()) drain_group_closes();
   // In nested mode concurrent submitters may be mutating the tracking
   // tables; every peek synchronizes on the table that owns the address —
   // the region rwlock, or the one dependency shard the address hashes to.
@@ -705,6 +899,8 @@ StatsSnapshot Runtime::stats() const {
       s.chained_executions += row.chained;
       s.batched_releases += w.batched_releases.get();
       s.wakeups_suppressed += w.wakeups_suppressed.get();
+      s.conflict_deferrals += w.conflict_deferrals.get();
+      s.conflict_wakeups += w.conflict_wakeups.get();
     }
     s.sched_promotions = policy_->promotions();
     std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -733,6 +929,10 @@ StatsSnapshot Runtime::stats() const {
     s.tracked_objects = dc.tracked_objects;
     s.lockfree_cas_retries = dc.cas_retries;
     s.region_accesses = rc.accesses;
+    s.groups_opened = dc.groups_opened;
+    s.group_joins = dc.group_joins;
+    s.groups_closed = dc.groups_closed;
+    s.commute_edges = dc.commute_edges;
 
     if (arena_) {
       const PoolStats n = arena_->nodes.stats();

@@ -108,12 +108,31 @@ class Runtime {
 
   // --- task spawning ----------------------------------------------------------
 
-  /// Invoke `fn` as a task of kind `type`. Parameters must be wrapped with
-  /// smpss::in/out/inout/value/opaque (see runtime/params.hpp); at execution
-  /// `fn` receives the resolved (possibly renamed) pointers in the same
-  /// order.
+  /// Invoke `fn` as a task of kind `type`. Parameters are wrapped with the
+  /// typed access-mode API of runtime/params.hpp — smpss::in/out/inout/
+  /// commutative/reduction (plus value/opaque/region); at execution `fn`
+  /// receives the resolved (possibly renamed/privatized) pointers in the
+  /// same order.
   template <typename F, detail::TaskParam... Ps>
   void spawn(TaskType type, F&& fn, Ps&&... ps) {
+    spawn(TaskAttrs{}, type, std::forward<F>(fn), std::forward<Ps>(ps)...);
+  }
+
+  /// Spawn with the default (anonymous) task type.
+  template <typename F, detail::TaskParam... Ps>
+    requires(!std::is_same_v<std::decay_t<F>, TaskType> &&
+             !std::is_same_v<std::decay_t<F>, TaskAttrs>)
+  void spawn(F&& fn, Ps&&... ps) {
+    spawn(TaskAttrs{}, TaskType{0}, std::forward<F>(fn),
+          std::forward<Ps>(ps)...);
+  }
+
+  /// Spawn with scheduling hints. `attrs.weight` (ns) seeds the aware
+  /// policy's cost estimate for this one task (0 = use the learned per-type
+  /// estimate); `attrs.name` labels the task for the no-TaskType overload
+  /// below. Hints never change semantics, only placement/ordering.
+  template <typename F, detail::TaskParam... Ps>
+  void spawn(TaskAttrs attrs, TaskType type, F&& fn, Ps&&... ps) {
     if (!cfg_.nested_tasks && (!on_main_thread() || in_task_context())) {
       // Sec. VII.D: a task call inside a task is a normal function call.
       // The check covers worker threads AND the main thread while it is
@@ -129,6 +148,7 @@ class Runtime {
     TaskNode* t = allocate_task(alloc_slot);
     t->type_id = type.id;
     t->high_priority = types_[type.id].high_priority;
+    t->weight = attrs.weight;
 
     using C = detail::Closure<std::decay_t<F>, std::decay_t<Ps>...>;
     void* mem = t->allocate_closure(sizeof(C), alignof(C), alloc_slot);
@@ -158,12 +178,19 @@ class Runtime {
     submit(t);
   }
 
-  /// Spawn with the default (anonymous) task type.
+  /// Spawn with hints but no explicit TaskType: `attrs.name`, when set,
+  /// selects the registered type of that name (anonymous type otherwise).
   template <typename F, detail::TaskParam... Ps>
     requires(!std::is_same_v<std::decay_t<F>, TaskType>)
-  void spawn(F&& fn, Ps&&... ps) {
-    spawn(TaskType{0}, std::forward<F>(fn), std::forward<Ps>(ps)...);
+  void spawn(TaskAttrs attrs, F&& fn, Ps&&... ps) {
+    const TaskType type =
+        attrs.name != nullptr ? find_task_type(attrs.name) : TaskType{0};
+    spawn(attrs, type, std::forward<F>(fn), std::forward<Ps>(ps)...);
   }
+
+  /// Look up a registered task type by name; TaskType{0} (the anonymous
+  /// type) when no match. Safe from any thread once registration is done.
+  TaskType find_task_type(const char* name) const noexcept;
 
   // --- synchronization ---------------------------------------------------------
 
@@ -328,6 +355,20 @@ class Runtime {
   void help_once();
 
   void wait_on_addr(const void* addr);
+
+  // --- commuting-group internals (dep/access_group.hpp) ----------------------
+
+  /// Retire a group-close node: apply its inherit copies, combine reduction
+  /// privates into the group storage, mark its version produced, and release
+  /// the successors it was holding. Runs wherever the last dependency of the
+  /// close resolves (a worker completing the last member, or the submitter
+  /// via drain_group_closes when the analyzer sealed an empty/idle group).
+  void retire_close(TaskNode* close, unsigned tid);
+
+  /// Retire every close node the analyzer queued (groups sealed on the
+  /// submission path resolve there, never on a worker). Called from
+  /// submit/barrier/wait_on/drain — any point that observes the analyzer.
+  void drain_group_closes();
 
   // --- service mode internals (runtime/stream.cpp) ---------------------------
 

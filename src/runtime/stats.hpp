@@ -39,6 +39,11 @@ struct alignas(kCacheLineSize) WorkerCounters {
   /// worker was already running (gate had no sleepers), or because one
   /// wakeup covered several released tasks.
   Counter64 wakeups_suppressed;
+  /// Ready commutative members this worker could not acquire the group
+  /// token(s) for and parked on the blocking token instead of running.
+  Counter64 conflict_deferrals;
+  /// Parked members this worker re-enqueued when it released a token.
+  Counter64 conflict_wakeups;
 };
 
 /// Per-stream service-mode counters (one row per open_stream() call, closed
@@ -114,6 +119,14 @@ struct StatsSnapshot {
   /// retries + aborted reader pins); zero in locked mode.
   std::uint64_t lockfree_cas_retries = 0;
   std::uint64_t region_accesses = 0;
+
+  // commuting access groups (Dir::Commutative / Dir::Concurrent)
+  std::uint64_t groups_opened = 0;   ///< commuting groups created
+  std::uint64_t group_joins = 0;     ///< member accesses folded into a group
+  std::uint64_t groups_closed = 0;   ///< groups sealed by a non-matching access/barrier
+  std::uint64_t commute_edges = 0;   ///< member -> close completion edges
+  std::uint64_t conflict_deferrals = 0;  ///< token-busy parks (summed)
+  std::uint64_t conflict_wakeups = 0;    ///< parked members re-enqueued
 
   // execution side (summed over workers)
   std::uint64_t tasks_executed = 0;

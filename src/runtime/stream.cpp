@@ -4,6 +4,7 @@
 // sched/admission.hpp for the fairness policy.
 #include "runtime/stream.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/timing.hpp"
@@ -84,6 +85,9 @@ void Runtime::submit_stream_task(TaskNode* t) {
   // release only — the Sec. III blocking conditions already ran as
   // admission (stream_admit), so the foreign-thread hard gate must not run
   // a second, unfair round of backpressure on top.
+  if (dep_.has_pending_closes()) drain_group_closes();
+  if (t->conflicts.size() > 1)
+    std::sort(t->conflicts.begin(), t->conflicts.begin() + t->conflicts.size());
   spawned_.fetch_add(1, std::memory_order_relaxed);
   tasks_live_.fetch_add(1, std::memory_order_relaxed);
   policy_submit(t);
@@ -121,6 +125,12 @@ void Runtime::drain_stream(StreamState& s) {
   SMPSS_CHECK(!(in_task_context() && detail::tls.current_owner == this),
               "drain() may not run inside one of this runtime's own task "
               "bodies — it could wait on the very task it runs in");
+  // A drain is a promise that the stream's submitted work retired — which
+  // for tasks downstream of an open commuting group requires the group's
+  // close to be reachable. Seal everything first (future submissions start
+  // new groups; correctness is unaffected, only batching).
+  dep_.close_open_groups();
+  if (dep_.has_pending_closes()) drain_group_closes();
   // The main thread helps execute (as at every Sec. III blocking
   // condition); any other client sleeps on the gate with the usual bounded
   // timeout.

@@ -308,7 +308,11 @@ class AwarePolicy final : public SchedulerPolicy<T> {
   bool wants_submit_hook() const noexcept override { return true; }
 
   void on_submit(T* t, T* const* preds, std::size_t npreds) override {
-    const std::uint64_t own = cost_estimate(t->type_id);
+    // A per-task weight hint (TaskAttrs::weight) beats the learned per-type
+    // estimate: the user knows this invocation's size, the table only knows
+    // the type's history.
+    const std::uint64_t own =
+        t->weight != 0 ? t->weight : cost_estimate(t->type_id);
     std::uint64_t longest = 0;
     unsigned best_tid = kNoWorker;
     std::size_t best_votes = 0;

@@ -205,6 +205,44 @@ TEST(Parser, Errors) {
           .has_value());
 }
 
+// The ISSUE's commuting modes: `commutative` (unordered mutually-exclusive
+// writers) and `concurrent` (privatized reduction) clauses.
+constexpr const char* kCommuting = R"(
+#pragma css task input(v) commutative(acc) concurrent(hist[K])
+void scatter(float v[N], float acc[N], float *hist);
+)";
+
+TEST(Parser, CommutativeAndConcurrentClauses) {
+  std::string err;
+  auto tu = parse_source(kCommuting, &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  ASSERT_EQ(tu->tasks.size(), 1u);
+  const TaskDecl& t = tu->tasks[0];
+  auto acc = t.occurrences("acc");
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].first, Direction::Commutative);
+  auto hist = t.occurrences("hist");
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].first, Direction::Concurrent);
+  EXPECT_EQ(hist[0].second->dims, (std::vector<std::string>{"K"}));
+}
+
+TEST(Parser, CommutingClausesRejectRegions) {
+  // Commuting modes are whole-object only; a region specifier must be a
+  // parse-time diagnosis, not a runtime surprise.
+  std::string err;
+  EXPECT_FALSE(
+      parse_source("#pragma css task commutative(a{0..9})\nvoid f(float a[N]);",
+                   &err)
+          .has_value());
+  EXPECT_NE(err.find("do not accept region specifiers"), std::string::npos);
+  EXPECT_FALSE(
+      parse_source("#pragma css task concurrent(a{0:4})\nvoid f(float a[N]);",
+                   &err)
+          .has_value());
+  EXPECT_NE(err.find("do not accept region specifiers"), std::string::npos);
+}
+
 TEST(Parser, NonPragmaCodeIsIgnored) {
   std::string err;
   auto tu = parse_source(
@@ -254,6 +292,19 @@ TEST(Codegen, OpaqueAndHighPriority) {
   std::string code = generate_task(tu->tasks[0]);
   EXPECT_NE(code.find("smpss::opaque(A)"), std::string::npos);
   EXPECT_NE(code.find("register_task_type(\"get\", true)"), std::string::npos);
+}
+
+TEST(Codegen, CommutativeAndConcurrentEmission) {
+  std::string err;
+  auto tu = parse_source(kCommuting, &err);
+  ASSERT_TRUE(tu.has_value()) << err;
+  std::string code = generate_task(tu->tasks[0]);
+  EXPECT_NE(code.find("smpss::commutative(acc, static_cast<std::size_t>(N))"),
+            std::string::npos);
+  // `concurrent` lowers to the additive reduction through the typed API.
+  EXPECT_NE(code.find("smpss::reduction(smpss::Plus{}, hist, "
+                      "static_cast<std::size_t>(K))"),
+            std::string::npos);
 }
 
 TEST(Codegen, WholeUnitHeader) {

@@ -256,6 +256,114 @@ TEST(PatternConformance, Spread) {
   check_spec(standard_spec(PatternKind::Spread));
 }
 
+// --- commuting accumulator rows -----------------------------------------------
+// AccumMode bolts one commuting write per point task onto the pattern: all
+// width tasks of a timestep add their produced value into one shared step
+// accumulator, lowered as smpss::commutative() (mutual exclusion, no
+// ordering) or smpss::reduction(Plus{}) (per-worker privatization). The
+// image must stay bit-identical to the oracle AND the accumulators must
+// land on oracle_step_sums exactly — wrapping uint64 addition commutes, so
+// any member order that respects mutual exclusion is correct and any torn
+// update, lost wakeup, double combine, or missed private shows up as a sum
+// mismatch. Swept across lockfree/locked × paper/aware, the axes whose
+// acquire paths differ.
+
+struct AccumVariant {
+  const char* name;
+  void (*tweak)(RunOptions&);
+};
+
+const AccumVariant kAccumSweep[] = {
+    {"lockfree_paper", [](RunOptions&) {}},
+    {"lockfree_aware",
+     [](RunOptions& o) { o.cfg.sched_policy = SchedPolicyKind::Aware; }},
+    {"locked_paper", [](RunOptions& o) { o.cfg.dep_lockfree = false; }},
+    {"locked_aware",
+     [](RunOptions& o) {
+       o.cfg.dep_lockfree = false;
+       o.cfg.sched_policy = SchedPolicyKind::Aware;
+     }},
+    {"threads1", [](RunOptions& o) { o.cfg.num_threads = 1; }},
+    {"renaming_off", [](RunOptions& o) { o.cfg.renaming = false; }},
+    {"chain0", [](RunOptions& o) { o.cfg.chain_depth = 0; }},
+    {"window16", [](RunOptions& o) { o.cfg.task_window = 16; }},
+    {"nested_flat",
+     [](RunOptions& o) { o.cfg.nested_tasks = true; }},
+    {"nested_steps_lockfree",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.shape = SubmitShape::NestedSteps;
+     }},
+    {"nested_steps_locked",
+     [](RunOptions& o) {
+       o.cfg.nested_tasks = true;
+       o.cfg.dep_lockfree = false;
+       o.shape = SubmitShape::NestedSteps;
+     }},
+};
+
+void check_accum_spec(const PatternSpec& spec, AccumMode am) {
+  const int nf = default_fields(spec);
+  const PatternImage expect = run_oracle(spec, nf);
+  const std::vector<Cell> expect_sums = oracle_step_sums(spec, nf);
+  for (LowerMode mode : {LowerMode::Address, LowerMode::Region}) {
+    if (mode == LowerMode::Address && !address_mode_ok(spec)) continue;
+    for (const AccumVariant& v : kAccumSweep) {
+      RunOptions opt;
+      opt.cfg = base_config();
+      opt.mode = mode;
+      opt.accum = am;
+      v.tweak(opt);
+      // Concurrent privatization rides the renaming machinery; the
+      // renaming_off row is a commutative-only ablation.
+      if (am == AccumMode::Concurrent && !opt.cfg.renaming) continue;
+      opt.nfields = nf;
+      RunResult r = run_pattern(spec, opt);
+      ASSERT_TRUE(images_equal(r.image, expect))
+          << "variant=" << v.name << "\n  " << spec.describe() << "\n  "
+          << opt.describe();
+      ASSERT_EQ(r.accums, expect_sums)
+          << "variant=" << v.name << "\n  " << spec.describe() << "\n  "
+          << opt.describe();
+      // One group per step accumulator, every point task a member, every
+      // group sealed and retired by the barrier.
+      EXPECT_EQ(r.stats.groups_opened, static_cast<std::uint64_t>(spec.steps))
+          << "variant=" << v.name << " " << spec.describe();
+      EXPECT_EQ(r.stats.groups_closed, r.stats.groups_opened)
+          << "variant=" << v.name << " " << spec.describe();
+      EXPECT_EQ(r.stats.group_joins, spec.total_tasks())
+          << "variant=" << v.name << " " << spec.describe();
+    }
+  }
+}
+
+TEST(PatternConformance, CommutativeAllToAll) {
+  check_accum_spec(standard_spec(PatternKind::AllToAll),
+                   AccumMode::Commutative);
+}
+TEST(PatternConformance, CommutativeSpread) {
+  check_accum_spec(standard_spec(PatternKind::Spread),
+                   AccumMode::Commutative);
+}
+TEST(PatternConformance, ConcurrentAllToAll) {
+  check_accum_spec(standard_spec(PatternKind::AllToAll),
+                   AccumMode::Concurrent);
+}
+TEST(PatternConformance, ConcurrentSpread) {
+  check_accum_spec(standard_spec(PatternKind::Spread), AccumMode::Concurrent);
+}
+
+// Wide fan-in: the point tasks lower in region mode while the accumulator
+// stays an address-mode commuting parameter — mixed routing on one task.
+TEST(PatternConformance, CommutativeWideAllToAllRegionOnly) {
+  PatternSpec a2a = standard_spec(PatternKind::AllToAll);
+  a2a.width = 24;
+  a2a.steps = 6;
+  ASSERT_FALSE(address_mode_ok(a2a));
+  check_accum_spec(a2a, AccumMode::Commutative);
+  check_accum_spec(a2a, AccumMode::Concurrent);
+}
+
 // Fan-in wider than any spawn arity: the region-analyzer lowering is the
 // only legal one (check_spec skips address mode by itself).
 TEST(PatternConformance, WideFanInRegionOnly) {
@@ -354,6 +462,12 @@ RunOptions random_options(Xoshiro256& rng, const PatternSpec& spec) {
                : LowerMode::Region;
   o.nfields =
       min_fields(spec) + static_cast<int>(rng.next_below(2));  // min..min+1
+  // A third of the draws bolt on the commuting step accumulator; the
+  // concurrent (reduction) flavor needs the renaming machinery.
+  if (rng.next_below(3) == 0)
+    o.accum = (o.cfg.renaming && rng.next_below(2) == 0)
+                  ? AccumMode::Concurrent
+                  : AccumMode::Commutative;
   return o;
 }
 
@@ -368,6 +482,12 @@ void run_fuzz_seed(std::uint64_t seed) {
       << opt.describe() << "\n  "
       << smpss::testing::replay_command("pattern_conformance_test",
                                         "PatternFuzz.*", seed);
+  if (opt.accum != AccumMode::None)
+    ASSERT_EQ(got.accums, oracle_step_sums(spec, opt.nfields))
+        << "fuzz seed=" << seed << "\n  " << spec.describe() << "\n  "
+        << opt.describe() << "\n  "
+        << smpss::testing::replay_command("pattern_conformance_test",
+                                          "PatternFuzz.*", seed);
 }
 
 TEST(PatternFuzz, TimeBoxedRandomSweep) {

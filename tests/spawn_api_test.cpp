@@ -188,6 +188,62 @@ TEST(SpawnApi, ConstSourceBuffers) {
   EXPECT_EQ(r, 30);
 }
 
+TEST(SpawnApi, CommutativeWrapperSingleObject) {
+  Runtime rt(two_threads());
+  std::int64_t x = 0;
+  for (int i = 0; i < 16; ++i)
+    rt.spawn([](std::int64_t* p) { *p += 2; }, commutative(&x));
+  rt.barrier();
+  EXPECT_EQ(x, 32);
+}
+
+TEST(SpawnApi, ReductionWrapperWithValueParam) {
+  Runtime rt(two_threads());
+  std::int64_t sum = 0;
+  for (int i = 0; i < 10; ++i)
+    rt.spawn([](const int& k, std::int64_t* p) { *p += k; }, value(i),
+             reduction(Plus{}, &sum));
+  rt.barrier();
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(SpawnApi, TaskAttrsWeightAndName) {
+  Runtime rt(two_threads());
+  TaskType heavy = rt.register_task_type("heavy_kernel");
+  EXPECT_EQ(rt.find_task_type("heavy_kernel").id, heavy.id);
+  EXPECT_EQ(rt.find_task_type("no_such_type").id, 0u);  // fallback
+
+  int x = 0, y = 0;
+  // Explicit type + weight hint.
+  rt.spawn(TaskAttrs{5000, nullptr}, heavy, [](int* p) { *p = 1; }, out(&x));
+  // Type resolved by name through the attrs.
+  rt.spawn(TaskAttrs{0, "heavy_kernel"}, [](int* p) { *p = 2; }, out(&y));
+  rt.barrier();
+  EXPECT_EQ(x, 1);
+  EXPECT_EQ(y, 2);
+}
+
+// The pre-TaskAttrs positional overloads are compatibility shims over the
+// attrs funnel: the same program through both spellings must be bit-exact.
+TEST(SpawnApi, PositionalShimBitExactVsTypedAttrs) {
+  const auto run = [](bool with_attrs) {
+    Runtime rt(two_threads());
+    TaskType step = rt.register_task_type("shim_step");
+    std::int64_t acc = 1;
+    for (int i = 1; i <= 12; ++i) {
+      const auto body = [i](std::int64_t* p) { *p = *p * 31 + i; };
+      if (with_attrs)
+        rt.spawn(TaskAttrs{static_cast<std::uint64_t>(i), "shim_step"},
+                 body, inout(&acc));
+      else
+        rt.spawn(step, body, inout(&acc));
+    }
+    rt.barrier();
+    return acc;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(SpawnApiDeath, NullPointerParameterAborts) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   ASSERT_DEATH(
