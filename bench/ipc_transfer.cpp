@@ -1,0 +1,129 @@
+// Transfer-layer benches for the multi-process backend: what the shared
+// memory substrate costs (segment setup, message-ring round trips) and what
+// an end-to-end pattern run pays for crossing process boundaries (fork +
+// copy-in/copy-back + retire traffic) relative to the same graph run
+// single-process.
+//
+//   * segment_setup     — shm_open/ftruncate/mmap/unlink round trip, the
+//                         fixed cost every distributed run pays once.
+//   * ring_round_trip   — two threads ping-ponging one message over a ring
+//                         pair: the per-message latency floor of the
+//                         submit/retire protocol.
+//   * dist_stencil      — the same stencil graph at SMPSS_PROCS=1 (classic
+//                         in-process runtime) vs 2 ranks: tasks/s including
+//                         fork, shard split, staging copies, and join. The
+//                         procs1 row doubles as the regression gate on the
+//                         dispatch path itself.
+//
+// CI serializes this into BENCH_ipc.json; tools/bench_compare.py diffs it
+// against the cached main baseline like every other bench.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "ipc/msg_ring.hpp"
+#include "ipc/shm_segment.hpp"
+#include "patterns/driver.hpp"
+
+namespace {
+
+using smpss::ipc::IpcMsg;
+using smpss::ipc::MsgKind;
+using smpss::ipc::MsgRing;
+using smpss::ipc::ShmSegment;
+
+// --- segment setup -----------------------------------------------------------
+
+void BM_IpcSegmentSetup(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ShmSegment seg = ShmSegment::create(bytes);
+    // Touch the first byte so lazily-faulted pages are not free.
+    benchmark::DoNotOptimize(*seg.at<volatile char>(0));
+  }
+  state.counters["segments_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+// --- ring round trip ---------------------------------------------------------
+
+void BM_IpcRingRoundTrip(benchmark::State& state) {
+  // A ring pair in plain memory (the ring code is identical in a segment;
+  // this isolates protocol cost from page-fault noise). The echo thread
+  // plays the executor: recv on one ring, answer on the other.
+  auto request = std::make_unique<MsgRing>();
+  auto reply = std::make_unique<MsgRing>();
+  std::atomic<bool> stop{false};
+  // Yield in every spin: on a single hardware thread a yield-free ping-pong
+  // burns a whole scheduler quantum per message, measuring the kernel's
+  // timeslice instead of the ring.
+  std::thread echo([&] {
+    IpcMsg m;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!request->try_recv(m)) {
+        std::this_thread::yield();
+        continue;
+      }
+      m.kind = MsgKind::Retire;
+      while (!reply->try_send(m)) std::this_thread::yield();
+    }
+  });
+  IpcMsg m;
+  m.kind = MsgKind::Submit;
+  std::uint64_t trips = 0;
+  for (auto _ : state) {
+    m.a = trips;
+    while (!request->try_send(m)) std::this_thread::yield();
+    IpcMsg back;
+    while (!reply->try_recv(back)) std::this_thread::yield();
+    benchmark::DoNotOptimize(back.a);
+    ++trips;
+  }
+  stop.store(true, std::memory_order_release);
+  echo.join();
+  state.counters["round_trips_per_s"] = benchmark::Counter(
+      static_cast<double>(trips), benchmark::Counter::kIsRate);
+}
+
+// --- end-to-end distributed pattern run --------------------------------------
+
+void dist_stencil_bench(benchmark::State& state, unsigned procs) {
+  smpss::patterns::PatternSpec spec;
+  spec.kind = smpss::patterns::PatternKind::Stencil1D;
+  spec.width = 8;
+  spec.steps = 32;
+  spec.radix = 3;
+  spec.seed = 0x1BC;
+  smpss::patterns::RunOptions opt;
+  opt.cfg.num_threads = 2;
+  opt.cfg.procs = procs;
+  opt.nfields = smpss::patterns::default_fields(spec);
+  const smpss::patterns::PatternImage expect =
+      smpss::patterns::run_oracle(spec, opt.nfields);
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    const smpss::patterns::RunResult r =
+        smpss::patterns::run_pattern(spec, opt);
+    if (r.image != expect) state.SkipWithError("image diverged from oracle");
+    tasks += spec.total_tasks();
+  }
+  state.counters["tasks_per_s"] = benchmark::Counter(
+      static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+
+void BM_IpcDistStencil_Procs1(benchmark::State& state) {
+  dist_stencil_bench(state, 1);
+}
+void BM_IpcDistStencil_Procs2(benchmark::State& state) {
+  dist_stencil_bench(state, 2);
+}
+
+}  // namespace
+
+BENCHMARK(BM_IpcSegmentSetup)->Arg(1 << 16)->Arg(1 << 22)->UseRealTime();
+BENCHMARK(BM_IpcRingRoundTrip)->UseRealTime();
+BENCHMARK(BM_IpcDistStencil_Procs1)->UseRealTime();
+BENCHMARK(BM_IpcDistStencil_Procs2)->UseRealTime();

@@ -24,6 +24,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "common/memcopy.hpp"
 #include "common/spin.hpp"
 #include "dep/access.hpp"
 #include "dep/renaming.hpp"
@@ -99,9 +100,11 @@ struct AccessGroup {
   void maybe_init_copy() noexcept {
     if (!init_pending.load(std::memory_order_relaxed)) return;
     if (init_pending.exchange(false, std::memory_order_acq_rel))
+      // Same inherit copy as the close-node path: overlap-safe, because
+      // master/private extents may alias inside a shared transfer segment.
       for (unsigned i = 0; i < init_count; ++i)
-        std::memcpy(init_copies[i].dst, init_copies[i].src,
-                    init_copies[i].bytes);
+        safe_copy(init_copies[i].dst, init_copies[i].src,
+                  init_copies[i].bytes);
   }
 
   // --- Concurrent -----------------------------------------------------------

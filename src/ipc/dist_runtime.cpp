@@ -1,0 +1,606 @@
+#include "ipc/dist_runtime.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/memcopy.hpp"
+#include "common/timing.hpp"
+#include "ipc/msg_ring.hpp"
+#include "ipc/process_group.hpp"
+#include "ipc/shm_segment.hpp"
+#include "patterns/oracle.hpp"
+#include "runtime/runtime.hpp"
+
+namespace smpss::ipc {
+
+using patterns::Cell;
+using patterns::Interval;
+using patterns::kMaxAddressFanIn;
+using patterns::kMaxIntervals;
+using patterns::PatternImage;
+using patterns::PatternKind;
+using patterns::PatternSpec;
+using patterns::RunOptions;
+
+unsigned datum_owner(long f, long p, unsigned nprocs) noexcept {
+  return static_cast<unsigned>(
+      patterns::mix64(0x534d505353495043ull /* "SMPSSIPC" */,
+                      (static_cast<std::uint64_t>(f) << 32) ^
+                          static_cast<std::uint64_t>(p)) %
+      nprocs);
+}
+
+namespace {
+
+/// Wall-clock ceiling on one distributed run: long past any test/bench
+/// duration, short enough that a protocol bug fails instead of hanging CI.
+constexpr std::uint64_t kDeadlineNs = 180ull * 1000 * 1000 * 1000;
+
+/// One task's published version: copy-back target of the producing body,
+/// copy-in source of every remote reader. Immutable once `ready` is set.
+struct alignas(64) SlotRec {
+  std::atomic<std::uint64_t> ready{0};
+  Cell value = 0;
+};
+
+struct alignas(64) RankFlag {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct EdgeRec64 {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+/// Segment header: the cross-rank abort flag (set by whichever rank hits a
+/// deadline or detects a dead sibling; everyone else sees it in their pump
+/// and leaves).
+struct DistHeader {
+  std::atomic<std::uint64_t> abort_flag{0};
+};
+
+/// Pointers into the one shared segment; identical in every rank because
+/// the mapping is inherited across fork at the same virtual address.
+struct SharedView {
+  DistHeader* hdr = nullptr;
+  MsgRing* to_coord = nullptr;    ///< [nprocs] ring rank -> 0
+  MsgRing* from_coord = nullptr;  ///< [nprocs] ring 0 -> rank
+  SlotRec* slots = nullptr;       ///< [total_tasks], indexed gseq - 1
+  Cell* result = nullptr;         ///< [nfields * width] final shard values
+  DistRankStats* stats = nullptr;  ///< [nprocs]
+  RankFlag* rank_done = nullptr;   ///< [nprocs]
+  EdgeRec64* edges = nullptr;      ///< [nprocs * edge_cap] (record_graph)
+  std::uint64_t* edge_count = nullptr;  ///< [nprocs]
+  std::uint64_t edge_cap = 0;
+};
+
+/// Everything one rank's submission loop and task bodies share. Lives on
+/// the rank's own stack/heap; bodies capture a raw pointer (trivially
+/// copyable closures, same discipline as the single-process driver bodies).
+struct RankCtx {
+  const PatternSpec* spec = nullptr;
+  SharedView sh;
+  unsigned rank = 0;
+  unsigned nprocs = 1;
+  int nfields = 1;
+  bool record = false;  ///< deterministic edge accounting is on
+
+  Runtime* rt = nullptr;
+  TaskType tt{};
+
+  PatternImage img;             ///< this rank's private image copy
+  std::vector<Cell> fetch_buf;  ///< staging, one cell per (t, p)
+  std::vector<std::uint64_t> first_seq;  ///< gseq of (t, 0), per t
+  Cell sentinel = 0;                     ///< NestedSteps generator chain
+
+  // --- record-mode bookkeeping (threads == 1, Flat: no races) ------------
+  std::vector<unsigned char> done_g;  ///< by gseq: local producer finished
+  std::vector<std::uint64_t> local_to_global;  ///< recorder seq -> gseq
+  std::vector<EdgeRec64> self_edges;  ///< fetch + already-retired edges
+
+  std::atomic<std::uint64_t> publishes{0};  ///< body-side, any worker
+  std::uint64_t fetches = 0;                ///< submit-side, single-threaded
+  std::uint64_t deadline_ns = 0;
+  std::thread::id main_tid;  ///< the rank's submission/drain thread
+
+  // --- coordinator only --------------------------------------------------
+  ProcessGroup* group = nullptr;
+  std::uint64_t retires_received = 0;
+  std::uint64_t poll_tick = 0;
+
+  std::uint64_t gseq_of(long t, long p) const {
+    return first_seq[static_cast<std::size_t>(t)] +
+           static_cast<std::uint64_t>(p);
+  }
+  std::size_t stage_index(long t, long p) const {
+    return static_cast<std::size_t>(t) *
+               static_cast<std::size_t>(spec->width) +
+           static_cast<std::size_t>(p);
+  }
+};
+
+[[noreturn]] void leave_aborted(RankCtx& c, const char* why) {
+  c.sh.hdr->abort_flag.store(1, std::memory_order_release);
+  if (c.rank != 0) ::_exit(3);
+  if (c.group != nullptr) c.group->kill_all();
+  SMPSS_CHECK(false, why);
+  ::_exit(3);  // unreachable; CHECK aborts
+}
+
+/// The pump every wait loop interleaves: run one ready local task, watch
+/// the abort flag and the deadline. Safe from the main thread and from
+/// inside task bodies alike (help_one never blocks).
+void body_pump(RankCtx& c) {
+  if (c.sh.hdr->abort_flag.load(std::memory_order_acquire) != 0)
+    leave_aborted(c, "distributed run aborted by a sibling rank");
+  if (now_ns() > c.deadline_ns)
+    leave_aborted(c, "distributed run exceeded its deadline");
+  c.rt->help_one();
+}
+
+/// Coordinator main-loop pump: body_pump plus draining the Retire rings
+/// (their consumer is exclusively this thread) and a throttled child
+/// liveness poll.
+void coord_pump(RankCtx& c) {
+  body_pump(c);
+  IpcMsg m;
+  for (unsigned r = 0; r < c.nprocs; ++r)
+    while (c.sh.to_coord[r].try_recv(m)) {
+      SMPSS_CHECK(m.kind == MsgKind::Retire,
+                  "unexpected message on a retire ring");
+      ++c.retires_received;
+    }
+  if ((++c.poll_tick & 255u) == 0 && c.group != nullptr &&
+      !c.group->poll())
+    leave_aborted(c, "a child rank died before the run completed");
+}
+
+/// The one wait-loop pump: the coordinator's main thread drains its rings
+/// (it is the retire rings' single consumer — a body running on one of
+/// rank 0's *worker* threads must not, hence the thread-id dispatch);
+/// everyone else just helps execute and watches for abort.
+void pump(RankCtx& c) {
+  if (c.rank == 0 && std::this_thread::get_id() == c.main_tid)
+    coord_pump(c);
+  else
+    body_pump(c);
+}
+
+void publish_and_retire(RankCtx* c, std::uint64_t gseq, const Cell* produced) {
+  SlotRec& s = c->sh.slots[gseq - 1];
+  // Copy-back into the segment: resolved (possibly renamed) storage -> the
+  // immutable published slot. safe_copy for the same reason as the
+  // close-node inherit copies — a user datum may itself live in a segment.
+  safe_copy(&s.value, produced, sizeof(Cell));
+  s.ready.store(1, std::memory_order_release);
+  if (c->record) c->done_g[gseq] = 1;
+  c->publishes.fetch_add(1, std::memory_order_relaxed);
+  IpcMsg m;
+  m.kind = MsgKind::Retire;
+  m.from = c->rank;
+  m.a = gseq;
+  c->sh.to_coord[c->rank].send(m, [c] { pump(*c); });
+}
+
+// --- task bodies ----------------------------------------------------------
+// The single-process driver's fold bodies plus the publish epilogue; same
+// trivially-copyable-struct discipline (one closure instantiation per
+// arity), reading and writing only through resolved parameters.
+
+struct DistAddrBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  std::uint64_t gseq;
+  RankCtx* ctx;
+  template <typename... In>
+  void operator()(Cell* dst, In... ins) const {
+    std::uint64_t h = patterns::value_seed(spec, t, p);
+    ((h = patterns::value_fold(h, *ins)), ...);
+    *dst = patterns::value_finish(spec, h, t, p);
+    publish_and_retire(ctx, gseq, dst);
+  }
+};
+
+struct DistChainBody {
+  PatternSpec spec;
+  std::int32_t t, p;
+  std::uint64_t gseq;
+  RankCtx* ctx;
+  void operator()(Cell* cell) const {
+    std::uint64_t h = patterns::value_seed(spec, t, p);
+    h = patterns::value_fold(h, *cell);
+    *cell = patterns::value_finish(spec, h, t, p);
+    publish_and_retire(ctx, gseq, cell);
+  }
+};
+
+template <std::size_t N>
+void spawn_dist_n(RankCtx& c, const DistAddrBody& body, Cell* dst,
+                  [[maybe_unused]] const std::array<const Cell*,
+                                                    kMaxAddressFanIn>& ins) {
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    c.rt->spawn(c.tt, body, out(dst), in(ins[Is])...);
+  }(std::make_index_sequence<N>{});
+}
+
+void spawn_dist(RankCtx& c, const DistAddrBody& body, Cell* dst,
+                const std::array<const Cell*, kMaxAddressFanIn>& ins,
+                std::size_t n) {
+  switch (n) {
+    case 0: spawn_dist_n<0>(c, body, dst, ins); break;
+    case 1: spawn_dist_n<1>(c, body, dst, ins); break;
+    case 2: spawn_dist_n<2>(c, body, dst, ins); break;
+    case 3: spawn_dist_n<3>(c, body, dst, ins); break;
+    case 4: spawn_dist_n<4>(c, body, dst, ins); break;
+    case 5: spawn_dist_n<5>(c, body, dst, ins); break;
+    case 6: spawn_dist_n<6>(c, body, dst, ins); break;
+    case 7: spawn_dist_n<7>(c, body, dst, ins); break;
+    case 8: spawn_dist_n<8>(c, body, dst, ins); break;
+    default:
+      SMPSS_CHECK(false, "address-mode fan-in exceeds kMaxAddressFanIn");
+  }
+}
+
+// --- submission -----------------------------------------------------------
+
+/// Spawn owned task (t, p) on this rank: stage remote inputs (copy-in from
+/// published slots, pumping while they wait), wire local inputs straight to
+/// the rank's own image cells so the local analyzer sees the dependency.
+void submit_point(RankCtx& c, long t, long p) {
+  const PatternSpec& spec = *c.spec;
+  const std::uint64_t gseq = c.gseq_of(t, p);
+  const long src_f = t > 0 ? (t - 1) % c.nfields : 0;
+  const long dst_f = t % c.nfields;
+  const bool in_place =
+      spec.kind == PatternKind::Chain && c.nfields == 1 && t > 0;
+  if (c.record) c.local_to_global.push_back(gseq);
+  Interval iv[kMaxIntervals];
+  const std::size_t n = spec.dependencies(t, p, iv);
+
+  if (in_place) {
+    // Chain on a single row: producer (t-1, p) writes the same datum, so
+    // it is local by construction; the inout RAW carries the dependency.
+    if (c.record) {
+      const std::uint64_t pg = c.gseq_of(t - 1, p);
+      if (c.done_g[pg] != 0)
+        c.self_edges.push_back(EdgeRec64{pg, gseq});  // runtime skips it
+    }
+    c.rt->spawn(c.tt,
+                DistChainBody{spec, static_cast<std::int32_t>(t),
+                              static_cast<std::int32_t>(p), gseq, &c},
+                inout(&c.img.at(0, p)));
+    return;
+  }
+
+  std::array<const Cell*, kMaxAddressFanIn> ins{};
+  std::array<std::uint64_t, kMaxAddressFanIn> local_pg{};  // 0 = remote
+  std::size_t cnt = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    for (long q = iv[k].lo; q <= iv[k].hi; ++q) {
+      SMPSS_CHECK(cnt < static_cast<std::size_t>(kMaxAddressFanIn),
+                  "address-mode fan-in exceeds kMaxAddressFanIn");
+      const std::uint64_t pg = c.gseq_of(t - 1, q);
+      if (datum_owner(src_f, q, c.nprocs) == c.rank) {
+        // Local dependency: same address the producer wrote; the rank's
+        // own analyzer orders (and records) it.
+        if (c.record) local_pg[cnt] = pg;
+        ins[cnt++] = &c.img.at(src_f, q);
+      } else {
+        // Remote dependency: wait for the published version, copy it into
+        // this (t-1, q)'s private staging cell (written exactly once, so
+        // readers of any later step never alias it), and read from there.
+        SlotRec& s = c.sh.slots[pg - 1];
+        while (s.ready.load(std::memory_order_acquire) == 0) pump(c);
+        Cell& stage = c.fetch_buf[c.stage_index(t - 1, q)];
+        safe_copy(&stage, &s.value, sizeof(Cell));
+        ++c.fetches;
+        ins[cnt++] = &stage;
+        if (c.record) c.self_edges.push_back(EdgeRec64{pg, gseq});
+      }
+    }
+  // Self-record retired local producers only now, after every wait above:
+  // the remote-slot waits pump help_one(), which can execute and retire a
+  // local producer collected earlier in this very loop — deciding per input
+  // as it is collected would let that producer slip between our check and
+  // the analyzer's (finished producers are skipped there), dropping the
+  // edge. Between here and the spawn nothing pumps, and the record-mode
+  // window CHECK keeps the spawn itself from executing tasks, so the
+  // done_g snapshot and the analyzer's finished_hint agree exactly.
+  if (c.record)
+    for (std::size_t i = 0; i < cnt; ++i)
+      if (local_pg[i] != 0 && c.done_g[local_pg[i]] != 0)
+        c.self_edges.push_back(EdgeRec64{local_pg[i], gseq});
+  spawn_dist(c,
+             DistAddrBody{spec, static_cast<std::int32_t>(t),
+                          static_cast<std::int32_t>(p), gseq, &c},
+             &c.img.at(dst_f, p), ins, cnt);
+}
+
+/// NestedSteps: one generator task per timestep, serialized on the rank's
+/// sentinel chain exactly like the single-process NestedSteps shape; the
+/// generator stages/waits remote inputs from inside its body (help_one
+/// keeps the rank's point tasks flowing meanwhile).
+void spawn_step_generator(RankCtx& c, long t, TaskType step_tt) {
+  RankCtx* cp = &c;
+  c.rt->spawn(step_tt,
+              [cp, t](Cell* token) {
+                *token = patterns::value_fold(
+                    *token, static_cast<Cell>(t));
+                const long w = cp->spec->width_at(t);
+                for (long p = 0; p < w; ++p)
+                  if (datum_owner(t % cp->nfields, p, cp->nprocs) == cp->rank)
+                    submit_point(*cp, t, p);
+              },
+              inout(&c.sentinel));
+}
+
+// --- per-rank epilogue ----------------------------------------------------
+
+/// After the local barrier: copy this rank's shard of the final image into
+/// the segment, export the accounting row (and, in record mode, the merged
+/// edge list), then raise the rank-done flag — its release publishes all
+/// of the above to the coordinator's acquire.
+void finish_rank(RankCtx& c) {
+  const StatsSnapshot snap = c.rt->stats();
+  for (long f = 0; f < c.nfields; ++f)
+    for (long p = 0; p < c.spec->width; ++p)
+      if (datum_owner(f, p, c.nprocs) == c.rank)
+        c.sh.result[static_cast<std::size_t>(f) *
+                        static_cast<std::size_t>(c.spec->width) +
+                    static_cast<std::size_t>(p)] = c.img.at(f, p);
+
+  DistRankStats& row = c.sh.stats[c.rank];
+  row.tasks_spawned = snap.tasks_spawned;
+  row.tasks_executed = snap.tasks_executed;
+  row.renames = snap.renames;
+  row.rename_bytes = snap.rename_bytes_total;
+  row.publishes = c.publishes.load(std::memory_order_relaxed);
+  row.fetches = c.fetches;
+  row.retires_sent = c.publishes.load(std::memory_order_relaxed);
+
+  if (c.record) {
+    EdgeRec64* out = c.sh.edges + c.rank * c.sh.edge_cap;
+    std::uint64_t cnt = 0;
+    for (const GraphRecorder::EdgeRec& e : c.rt->graph_recorder().edges()) {
+      if (e.kind != EdgeKind::True) continue;
+      SMPSS_CHECK(cnt < c.sh.edge_cap, "per-rank edge area overflow");
+      // Recorder seqs are rank-local spawn order; map both ends global.
+      out[cnt++] = EdgeRec64{c.local_to_global[e.from - 1],
+                             c.local_to_global[e.to - 1]};
+    }
+    for (const EdgeRec64& e : c.self_edges) {
+      SMPSS_CHECK(cnt < c.sh.edge_cap, "per-rank edge area overflow");
+      out[cnt++] = e;
+    }
+    c.sh.edge_count[c.rank] = cnt;
+  }
+  c.sh.rank_done[c.rank].v.store(1, std::memory_order_release);
+}
+
+void init_rank_ctx(RankCtx& c, const PatternSpec& spec,
+                   const RunOptions& opt, const SharedView& sh,
+                   unsigned rank, unsigned nprocs, int nfields) {
+  c.spec = &spec;
+  c.sh = sh;
+  c.rank = rank;
+  c.nprocs = nprocs;
+  c.nfields = nfields;
+  c.record = opt.cfg.record_graph;
+  c.img = patterns::make_initial_image(spec, nfields);
+  c.fetch_buf.assign(static_cast<std::size_t>(spec.steps) *
+                         static_cast<std::size_t>(spec.width),
+                     0);
+  c.first_seq.assign(static_cast<std::size_t>(spec.steps) + 1, 1);
+  for (long t = 0; t < spec.steps; ++t)
+    c.first_seq[static_cast<std::size_t>(t) + 1] =
+        c.first_seq[static_cast<std::size_t>(t)] +
+        static_cast<std::uint64_t>(spec.width_at(t));
+  if (c.record)
+    c.done_g.assign(spec.total_tasks() + 1, 0);
+  c.deadline_ns = now_ns() + kDeadlineNs;
+  c.main_tid = std::this_thread::get_id();
+}
+
+/// Child rank main: drain the coordinator's ring, spawning what it assigns,
+/// until Done; then barrier, export, leave.
+bool worker_rank_main(const PatternSpec& spec, const RunOptions& opt,
+                      const SharedView& sh, unsigned rank, unsigned nprocs,
+                      int nfields) {
+  RankCtx c;
+  init_rank_ctx(c, spec, opt, sh, rank, nprocs, nfields);
+  Config cfg = opt.cfg;
+  cfg.procs = 1;
+  Runtime rt(cfg);
+  c.rt = &rt;
+  c.tt = rt.register_task_type(std::string("dist_point:") +
+                               patterns::to_string(spec.kind));
+  TaskType step_tt;
+  if (opt.shape == patterns::SubmitShape::NestedSteps)
+    step_tt = rt.register_task_type("dist_step");
+
+  IpcMsg m;
+  for (;;) {
+    if (!sh.from_coord[rank].try_recv(m)) {
+      body_pump(c);
+      continue;
+    }
+    if (m.kind == MsgKind::Done) break;
+    if (m.kind == MsgKind::Submit)
+      submit_point(c, static_cast<long>(m.a), static_cast<long>(m.b));
+    else if (m.kind == MsgKind::SubmitStep)
+      spawn_step_generator(c, static_cast<long>(m.a), step_tt);
+    else
+      SMPSS_CHECK(false, "unexpected message on a submit ring");
+  }
+  rt.barrier();
+  finish_rank(c);
+  return true;
+}
+
+}  // namespace
+
+DistResult run_pattern_dist(const PatternSpec& spec, const RunOptions& opt,
+                            unsigned nprocs) {
+  spec.validate();
+  SMPSS_CHECK(nprocs >= 1 && nprocs <= 16, "SMPSS_PROCS out of range");
+  SMPSS_CHECK(opt.mode == patterns::LowerMode::Address,
+              "multi-process runs lower in address mode only");
+  SMPSS_CHECK(patterns::address_mode_ok(spec),
+              "pattern fan-in too wide for address mode");
+  SMPSS_CHECK(opt.accum == patterns::AccumMode::None,
+              "commuting accumulators stay single-process");
+  if (opt.shape == patterns::SubmitShape::NestedSteps)
+    SMPSS_CHECK(opt.cfg.nested_tasks,
+                "NestedSteps submission needs Config::nested_tasks");
+  if (opt.cfg.record_graph) {
+    SMPSS_CHECK(opt.shape == patterns::SubmitShape::Flat &&
+                    opt.cfg.num_threads == 1,
+                "cross-process graph recording needs the deterministic "
+                "window: Flat shape, one thread per rank");
+    SMPSS_CHECK(opt.cfg.task_window > spec.total_tasks(),
+                "cross-process graph recording needs a task window larger "
+                "than the graph (a throttled spawn would execute tasks "
+                "between the self-record decision and the analyzer's)");
+  }
+
+  const int nfields =
+      opt.nfields > 0 ? opt.nfields : patterns::default_fields(spec);
+  const std::uint64_t total = spec.total_tasks();
+  const std::uint64_t edge_cap =
+      opt.cfg.record_graph ? patterns::intended_true_edges(spec).size() : 0;
+  const std::size_t image_cells = static_cast<std::size_t>(nfields) *
+                                  static_cast<std::size_t>(spec.width);
+
+  // --- segment layout (frozen before the fork) ---------------------------
+  std::size_t need = 4096;
+  need += 2 * nprocs * (sizeof(MsgRing) + 64);
+  need += total * sizeof(SlotRec) + 64;
+  need += image_cells * sizeof(Cell) + 64;
+  need += nprocs * (sizeof(DistRankStats) + sizeof(RankFlag) +
+                    sizeof(std::uint64_t) + 192);
+  need += nprocs * edge_cap * sizeof(EdgeRec64) + 64;
+  ShmSegment seg = ShmSegment::create(need);
+  SegmentAllocator alloc(seg);
+
+  SharedView sh;
+  sh.hdr = new (alloc.alloc<DistHeader>()) DistHeader();
+  sh.to_coord = alloc.alloc<MsgRing>(nprocs);
+  sh.from_coord = alloc.alloc<MsgRing>(nprocs);
+  for (unsigned r = 0; r < nprocs; ++r) {
+    new (&sh.to_coord[r]) MsgRing();
+    new (&sh.from_coord[r]) MsgRing();
+  }
+  sh.slots = alloc.alloc<SlotRec>(total);
+  for (std::uint64_t i = 0; i < total; ++i) new (&sh.slots[i]) SlotRec();
+  sh.result = alloc.alloc<Cell>(image_cells);
+  sh.stats = alloc.alloc<DistRankStats>(nprocs);
+  sh.rank_done = alloc.alloc<RankFlag>(nprocs);
+  sh.edge_count = alloc.alloc<std::uint64_t>(nprocs);
+  for (unsigned r = 0; r < nprocs; ++r) {
+    new (&sh.stats[r]) DistRankStats();
+    new (&sh.rank_done[r]) RankFlag();
+    sh.edge_count[r] = 0;
+  }
+  sh.edge_cap = edge_cap;
+  if (edge_cap > 0) sh.edges = alloc.alloc<EdgeRec64>(nprocs * edge_cap);
+
+  // Seed the assembled image with the initial cells so datums no task ever
+  // writes (tree's unreached points) come out right without special cases.
+  {
+    const PatternImage init = patterns::make_initial_image(spec, nfields);
+    safe_copy(sh.result, init.cells.data(), image_cells * sizeof(Cell));
+  }
+
+  // --- fork the worker ranks --------------------------------------------
+  ProcessGroup group;
+  if (nprocs > 1)
+    group.spawn(nprocs - 1, [&](unsigned rank) {
+      return worker_rank_main(spec, opt, sh, rank, nprocs, nfields);
+    });
+
+  // --- rank 0: coordinator + executor ------------------------------------
+  RankCtx c;
+  init_rank_ctx(c, spec, opt, sh, /*rank=*/0, nprocs, nfields);
+  c.group = nprocs > 1 ? &group : nullptr;
+  {
+    Config cfg = opt.cfg;
+    cfg.procs = 1;
+    Runtime rt(cfg);
+    c.rt = &rt;
+    c.tt = rt.register_task_type(std::string("dist_point:") +
+                                 patterns::to_string(spec.kind));
+    IpcMsg m;
+    if (opt.shape == patterns::SubmitShape::Flat) {
+      // Global (t, p) submission order, streamed to the owning ranks: the
+      // coordinator is the paper's main program, the rings its spawn API.
+      for (long t = 0; t < spec.steps; ++t)
+        for (long p = 0; p < spec.width_at(t); ++p) {
+          const unsigned owner = datum_owner(t % nfields, p, nprocs);
+          if (owner == 0) {
+            submit_point(c, t, p);
+          } else {
+            m = IpcMsg{};
+            m.kind = MsgKind::Submit;
+            m.a = static_cast<std::uint64_t>(t);
+            m.b = static_cast<std::uint64_t>(p);
+            m.c = c.gseq_of(t, p);
+            sh.from_coord[owner].send(m, [&c] { coord_pump(c); });
+          }
+        }
+    } else {
+      TaskType step_tt = rt.register_task_type("dist_step");
+      for (long t = 0; t < spec.steps; ++t) {
+        for (unsigned r = 1; r < nprocs; ++r) {
+          m = IpcMsg{};
+          m.kind = MsgKind::SubmitStep;
+          m.a = static_cast<std::uint64_t>(t);
+          sh.from_coord[r].send(m, [&c] { coord_pump(c); });
+        }
+        spawn_step_generator(c, t, step_tt);
+      }
+    }
+    for (unsigned r = 1; r < nprocs; ++r) {
+      m = IpcMsg{};
+      m.kind = MsgKind::Done;
+      sh.from_coord[r].send(m, [&c] { coord_pump(c); });
+    }
+    rt.barrier();
+    // Global completion: every Retire accounted for, every rank's shard
+    // exported. rank_done's release pairs with these acquires, so the
+    // result/stats/edge reads below see each rank's final writes.
+    while (c.retires_received < total) coord_pump(c);
+    for (unsigned r = 1; r < nprocs; ++r)
+      while (sh.rank_done[r].v.load(std::memory_order_acquire) == 0)
+        coord_pump(c);
+    finish_rank(c);
+  }
+
+  DistResult res;
+  res.total_tasks = total;
+  res.retires_received = c.retires_received;
+  res.image.nfields = nfields;
+  res.image.width = spec.width;
+  res.image.cells.assign(sh.result, sh.result + image_cells);
+  res.ranks.assign(sh.stats, sh.stats + nprocs);
+  if (opt.cfg.record_graph) {
+    for (unsigned r = 0; r < nprocs; ++r) {
+      const EdgeRec64* e = sh.edges + r * sh.edge_cap;
+      for (std::uint64_t i = 0; i < sh.edge_count[r]; ++i)
+        res.edges.emplace_back(e[i].from, e[i].to);
+    }
+    std::sort(res.edges.begin(), res.edges.end());
+  }
+  res.clean_children =
+      nprocs == 1 || group.join(opt.cfg.stats_path);
+  return res;
+}
+
+}  // namespace smpss::ipc

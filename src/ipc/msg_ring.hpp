@@ -1,0 +1,103 @@
+// Fixed-capacity message rings in shared memory, one per ordered process
+// pair. The protocol of the multi-process backend is tiny — submit, retire,
+// done — so a 32-byte fixed message and a power-of-two ring of them cover
+// it without any in-segment allocation after setup.
+//
+// Concurrency contract: each ring has exactly one consumer *process* (the
+// pair's destination rank, which drains it from one thread at a time) and
+// one producer *process*; because a producer process may be multi-threaded
+// (worker threads publishing retire messages), the producer side takes a
+// spinlock that lives in the ring header. The lock is in shared memory but
+// only threads of the one producer rank ever touch it, so it is still a
+// process-local lock — no cross-process lock-holder-dies hazard on the
+// consumer side.
+//
+// Progress contract: send() never blocks without running the caller-supplied
+// pump, which the backend wires to Runtime::help_one() plus (on the
+// coordinator) ring draining and child liveness checks. That keeps a full
+// ring from deadlocking a 1-thread-per-rank configuration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/spin.hpp"
+
+namespace smpss::ipc {
+
+/// Message kinds of the distributed-backend protocol.
+enum class MsgKind : std::uint32_t {
+  Invalid = 0,
+  Submit,      // coordinator -> executor: run task a=(t), b=(p), c=global seq
+  SubmitStep,  // coordinator -> executor: spawn your tasks of step a (nested)
+  Retire,      // executor -> coordinator: global seq a finished
+  Done,        // coordinator -> executor: no more work; drain and exit
+};
+
+/// One fixed-size protocol message. Interpretation of a/b/c is per-kind.
+struct IpcMsg {
+  MsgKind kind = MsgKind::Invalid;
+  std::uint32_t from = 0;  // sender rank
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+static_assert(sizeof(IpcMsg) == 32, "IpcMsg layout is part of the protocol");
+
+/// SPSC (single consumer process, single producer process) bounded ring.
+/// Lives entirely inside the shared segment; constructed by placement into
+/// zero-filled memory, so the zero state must be a valid empty ring.
+class MsgRing {
+ public:
+  static constexpr std::uint64_t kCapacity = 1024;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  /// Try to enqueue; false when full. Thread-safe on the producer side.
+  bool try_send(const IpcMsg& m) noexcept {
+    lock_.lock();
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kCapacity) {
+      lock_.unlock();
+      return false;
+    }
+    slots_[head & (kCapacity - 1)] = m;
+    head_.store(head + 1, std::memory_order_release);
+    lock_.unlock();
+    return true;
+  }
+
+  /// Enqueue, running `pump()` while the ring is full. Pump must make
+  /// global progress (drain rings / execute tasks) or abort on deadline.
+  template <typename Pump>
+  void send(const IpcMsg& m, Pump&& pump) {
+    Backoff b;
+    while (!try_send(m)) {
+      pump();
+      b.pause();
+    }
+  }
+
+  /// Try to dequeue; false when empty. Single-threaded consumer side.
+  bool try_recv(IpcMsg& out) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = slots_[tail & (kCapacity - 1)];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) SpinLock lock_;  // producer-rank threads only
+  alignas(64) IpcMsg slots_[kCapacity];
+};
+
+}  // namespace smpss::ipc

@@ -1,0 +1,87 @@
+#include "ipc/process_group.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/check.hpp"
+#include "runtime/stats_export.hpp"
+
+namespace smpss::ipc {
+
+ProcessGroup::~ProcessGroup() {
+  kill_all();
+  join();
+}
+
+void ProcessGroup::spawn(unsigned n_children,
+                         const std::function<bool(unsigned)>& body) {
+  SMPSS_CHECK(children_.empty(), "ProcessGroup::spawn called twice");
+  children_.resize(n_children);
+  for (unsigned rank = 1; rank <= n_children; ++rank) {
+    const pid_t pid = ::fork();
+    SMPSS_CHECK(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: run the rank body and leave without unwinding inherited
+      // parent state (atexit handlers, gtest registries, stdio buffers).
+      const bool ok = body(rank);
+      ::_exit(ok ? 0 : 1);
+    }
+    children_[rank - 1].pid = pid;
+  }
+}
+
+void ProcessGroup::reap(std::size_t idx, int status) {
+  ChildExit& c = children_[idx];
+  c.pid = -1;
+  if (WIFEXITED(status)) {
+    c.exited = true;
+    c.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    c.term_signal = WTERMSIG(status);
+  }
+  if (!c.clean()) any_unclean_ = true;
+}
+
+bool ProcessGroup::poll() {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].pid < 0) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(children_[i].pid, &status, WNOHANG);
+    if (r == children_[i].pid) reap(i, status);
+  }
+  return !any_unclean_;
+}
+
+bool ProcessGroup::join(const std::string& stats_path) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].pid < 0) continue;
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(children_[i].pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r == children_[i].pid) reap(i, status);
+  }
+  if (!stats_path.empty()) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      const ChildExit& c = children_[i];
+      if (c.pid < 0 && !c.clean()) {
+        const int raw_status =
+            c.exited ? c.exit_code : -c.term_signal;
+        append_partial_run_marker(stats_path,
+                                  static_cast<unsigned>(i + 1), raw_status);
+      }
+    }
+  }
+  return !any_unclean_;
+}
+
+void ProcessGroup::kill_all() {
+  for (ChildExit& c : children_)
+    if (c.pid > 0) ::kill(c.pid, SIGKILL);
+}
+
+}  // namespace smpss::ipc

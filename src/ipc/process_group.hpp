@@ -1,0 +1,68 @@
+// Process lifecycle for the multi-process backend: fork the worker ranks,
+// join them with per-child exit status, detect crashes, and clean up.
+//
+// Fork discipline: the coordinator must be effectively single-threaded when
+// it calls spawn() — in this codebase that means no live Runtime (its
+// destructor joins the workers) and no exporter thread. Children run the
+// rank function and _exit() so they never unwind the parent's atexit/gtest
+// state they inherited.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace smpss::ipc {
+
+/// Outcome of one child rank, filled in by join().
+struct ChildExit {
+  pid_t pid = -1;
+  bool exited = false;    // normal _exit (vs signal / still running)
+  int exit_code = -1;     // valid when exited
+  int term_signal = 0;    // valid when !exited and signaled
+  bool clean() const { return exited && exit_code == 0; }
+};
+
+/// Fork-N/join-all helper. Ranks are 1..n_children (rank 0 is the calling
+/// coordinator process itself and never forks).
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ~ProcessGroup();  // joins (after kill) anything still running
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Fork `n_children` ranks; each child runs `body(rank)` with rank in
+  /// [1, n_children] and then _exit(0) (or _exit(1) if body returns false).
+  /// Returns only in the parent.
+  void spawn(unsigned n_children, const std::function<bool(unsigned)>& body);
+
+  /// Non-blocking liveness sweep (waitpid WNOHANG). Returns true if every
+  /// child that has exited so far did so cleanly; a crashed child makes
+  /// this false immediately, without waiting for the others.
+  bool poll();
+
+  /// Blocking join of all children. When `stats_path` is non-empty, each
+  /// uncleanly-exited rank gets a partial-run marker appended there (the
+  /// dead child's exporter could not write its final line). Returns true
+  /// iff every child exited cleanly.
+  bool join(const std::string& stats_path = std::string());
+
+  /// SIGKILL every still-running child (crash-propagation path: one dead
+  /// rank means the run can never complete, so take the rest down).
+  void kill_all();
+
+  const std::vector<ChildExit>& children() const { return children_; }
+  bool any_unclean() const { return any_unclean_; }
+
+ private:
+  void reap(std::size_t idx, int status);
+
+  std::vector<ChildExit> children_;
+  bool any_unclean_ = false;
+};
+
+}  // namespace smpss::ipc

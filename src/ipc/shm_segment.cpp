@@ -1,0 +1,71 @@
+#include "ipc/shm_segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace smpss::ipc {
+
+ShmSegment ShmSegment::create(std::size_t bytes) {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t ps = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  bytes = (bytes + ps - 1) / ps * ps;
+
+  // A per-pid name defeats collisions between concurrent test processes;
+  // O_EXCL retries with a nonce cover the (pid reuse) leftovers of a
+  // crashed earlier run. The name lives only for the shm_open/shm_unlink
+  // window below.
+  int fd = -1;
+  char name[64];
+  for (unsigned nonce = 0; nonce < 64; ++nonce) {
+    std::snprintf(name, sizeof name, "/smpss-ipc-%ld-%u",
+                  static_cast<long>(::getpid()), nonce);
+    fd = ::shm_open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd >= 0) break;
+    SMPSS_CHECK(errno == EEXIST, "shm_open failed");
+  }
+  SMPSS_CHECK(fd >= 0, "shm_open could not find a free name");
+
+  SMPSS_CHECK(::ftruncate(fd, static_cast<off_t>(bytes)) == 0,
+              "ftruncate on shm segment failed");
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  // Unlink + close before any early return: the mapping alone keeps the
+  // memory alive, and no name survives this function.
+  ::shm_unlink(name);
+  ::close(fd);
+  SMPSS_CHECK(base != MAP_FAILED, "mmap of shm segment failed");
+  std::memset(base, 0, bytes);
+  return ShmSegment(base, bytes);
+}
+
+ShmSegment::~ShmSegment() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    base_ = other.base_;
+    bytes_ = other.bytes_;
+    other.base_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+std::size_t SegmentAllocator::reserve(std::size_t bytes, std::size_t align) {
+  const std::size_t aligned = (off_ + align - 1) & ~(align - 1);
+  SMPSS_CHECK(aligned + bytes <= seg_->size(),
+              "shm segment sized too small for the requested layout");
+  off_ = aligned + bytes;
+  return aligned;
+}
+
+}  // namespace smpss::ipc

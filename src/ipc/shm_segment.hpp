@@ -1,0 +1,83 @@
+// POSIX shared-memory segment shared by a fork()ed process group.
+//
+// The multi-process backend (ipc/dist_runtime.hpp) communicates through one
+// segment created by the coordinating process *before* it forks the worker
+// ranks: shm_open gives an anonymous-by-convention tmpfs object, ftruncate
+// sizes it, mmap(MAP_SHARED) maps it, and the name is shm_unlink()ed
+// immediately — the mapping (and the atomics inside it) is inherited by
+// every child at the same virtual address, so pointers into the segment are
+// valid in every rank and nothing can leak a /dev/shm name past process
+// death, even on SIGKILL.
+//
+// Layout inside the segment is the caller's business; SegmentAllocator is a
+// single-threaded bump allocator used during setup (before the fork), after
+// which the layout is frozen and ranks only touch their agreed-upon slots.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace smpss::ipc {
+
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+
+  /// Create + map a segment of `bytes` (rounded up to the page size),
+  /// zero-filled. Aborts (SMPSS_CHECK) on any system-call failure — segment
+  /// creation happens during test/bench setup where "can't" means a broken
+  /// host, not a recoverable condition.
+  static ShmSegment create(std::size_t bytes);
+
+  ~ShmSegment();
+
+  ShmSegment(ShmSegment&& other) noexcept
+      : base_(other.base_), bytes_(other.bytes_) {
+    other.base_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  void* base() const noexcept { return base_; }
+  std::size_t size() const noexcept { return bytes_; }
+  bool valid() const noexcept { return base_ != nullptr; }
+
+  /// Typed view of the bytes at `offset`.
+  template <typename T>
+  T* at(std::size_t offset) const noexcept {
+    return reinterpret_cast<T*>(static_cast<char*>(base_) + offset);
+  }
+
+ private:
+  ShmSegment(void* base, std::size_t bytes) : base_(base), bytes_(bytes) {}
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// Setup-time bump allocator over a segment: hands out cache-line-aligned
+/// (or stricter) ranges and aborts when the segment was sized too small.
+/// Single-threaded by design — the layout is fixed before the fork.
+class SegmentAllocator {
+ public:
+  explicit SegmentAllocator(ShmSegment& seg) : seg_(&seg) {}
+
+  /// Reserve `bytes` aligned to `align` (power of two); returns the offset.
+  std::size_t reserve(std::size_t bytes, std::size_t align = 64);
+
+  template <typename T>
+  T* alloc(std::size_t count = 1) {
+    return seg_->at<T>(reserve(sizeof(T) * count, alignof(T) < 8 ? 8
+                                                                 : alignof(T)));
+  }
+
+  std::size_t used() const noexcept { return off_; }
+
+ private:
+  ShmSegment* seg_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace smpss::ipc

@@ -48,6 +48,8 @@ Config Config::from_env() {
   if (auto v = env_int("SMPSS_STATS_PERIOD_MS"); v && *v >= 0)
     c.stats_period_ms = static_cast<unsigned>(*v);
   if (auto v = env_string("SMPSS_STATS_FILE")) c.stats_path = *v;
+  if (auto v = env_int("SMPSS_PROCS"); v && *v > 0)
+    c.procs = static_cast<unsigned>(*v);
   return c;
 }
 
@@ -66,6 +68,8 @@ void Config::normalize() {
   // whole graph; cost estimates of 0 would zero all priorities.
   if (aware_crit_ppm <= 1000000) aware_crit_ppm = 1000001;
   if (aware_cost_ns == 0) aware_cost_ns = 1;
+  if (procs < 1) procs = 1;
+  if (procs > 16) procs = 16;
 }
 
 }  // namespace smpss

@@ -25,6 +25,8 @@
 //   SMPSS_STREAMS           service-mode stream registry capacity
 //   SMPSS_STATS_PERIOD_MS   periodic JSON stats exporter period (0 = off)
 //   SMPSS_STATS_FILE        exporter destination ("" = stderr, appended)
+//   SMPSS_PROCS             worker processes for the pattern drivers'
+//                           multi-process backend (1 = single-process)
 #pragma once
 
 #include <cstddef>
@@ -151,6 +153,15 @@ struct Config {
 
   /// Exporter destination, opened in append mode. Empty = stderr.
   std::string stats_path;
+
+  /// Worker processes of the multi-process dependency manager
+  /// (ipc/dist_runtime.hpp): the pattern drivers shard the datum space by
+  /// hash across this many rank processes over a shared-memory segment.
+  /// 1 (the default) is the existing single-process runtime, bit-exact —
+  /// a Runtime itself never forks; only the pattern run_pattern() driver
+  /// consults this field and routes to the distributed backend. Clamped to
+  /// [1, 16] by normalize().
+  unsigned procs = 1;
 
   /// Defaults overridden by SMPSS_* environment variables.
   static Config from_env();

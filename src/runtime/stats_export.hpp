@@ -1,0 +1,24 @@
+// Helpers around the NDJSON stats export that other subsystems (the
+// multi-process backend's parent rank in particular) call without a live
+// Runtime: repairing and flagging the stats file of a child that died
+// before its exporter could write the final line.
+#pragma once
+
+#include <string>
+
+namespace smpss {
+
+/// Append a `{"partial_run":true,...}` line to the stats file at `path`.
+///
+/// Called by the process-group join path when a child rank exited uncleanly
+/// (crash or signal): the child's exporter cannot honor the
+/// final-line-at-shutdown guarantee, and its last line may be torn. If the
+/// file does not end in a newline the torn tail is first terminated (NDJSON
+/// consumers skip the unparseable line), then a well-formed marker line
+/// records the rank and raw wait() status so "this run is incomplete" is
+/// machine-readable instead of a silent truncation. No-op when `path` is
+/// empty or unopenable.
+void append_partial_run_marker(const std::string& path, unsigned rank,
+                               int status);
+
+}  // namespace smpss

@@ -15,6 +15,7 @@
 #include "common/affinity.hpp"
 #include "common/cache.hpp"
 #include "common/env.hpp"
+#include "common/memcopy.hpp"
 #include "common/rng.hpp"
 #include "common/small_vector.hpp"
 #include "common/spin.hpp"
@@ -290,6 +291,46 @@ TEST(ThreadPool, ReusableAcrossJobs) {
   for (int round = 0; round < 50; ++round)
     pool.run([&](unsigned) { total.fetch_add(1); });
   EXPECT_EQ(total.load(), 50 * 8);
+}
+
+// --- overlap-safe copy (the data-movement primitive) ---------------------------
+
+TEST(MemCopy, RangesOverlapTruthTable) {
+  char buf[64];
+  EXPECT_TRUE(ranges_overlap(buf, 16, buf, 16));        // identical
+  EXPECT_TRUE(ranges_overlap(buf, 16, buf + 8, 16));    // partial, forward
+  EXPECT_TRUE(ranges_overlap(buf + 8, 16, buf, 16));    // partial, backward
+  EXPECT_TRUE(ranges_overlap(buf, 32, buf + 8, 8));     // containment
+  EXPECT_FALSE(ranges_overlap(buf, 16, buf + 16, 16));  // adjacent
+  EXPECT_FALSE(ranges_overlap(buf, 8, buf + 32, 8));    // disjoint
+  EXPECT_FALSE(ranges_overlap(buf, 0, buf, 16));        // empty range
+}
+
+TEST(MemCopy, SafeCopyHandlesOverlapBothDirections) {
+  // Regression for the close-node inherit copies (runtime.cpp) and the
+  // shared-segment publish/fetch path: a memcpy here corrupted data when a
+  // transfer's src and dst ranges aliased. safe_copy must behave like the
+  // sequential byte-at-a-time oracle in both shift directions.
+  std::vector<unsigned char> init(64);
+  for (std::size_t i = 0; i < init.size(); ++i)
+    init[i] = static_cast<unsigned char>(i);
+
+  // Forward shift: dst overlaps the tail of src.
+  std::vector<unsigned char> fwd = init;
+  safe_copy(fwd.data() + 8, fwd.data(), 32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ASSERT_EQ(fwd[8 + i], init[i]) << "forward-shift byte " << i;
+
+  // Backward shift: dst overlaps the head of src.
+  std::vector<unsigned char> bwd = init;
+  safe_copy(bwd.data(), bwd.data() + 8, 32);
+  for (std::size_t i = 0; i < 32; ++i)
+    ASSERT_EQ(bwd[i], init[8 + i]) << "backward-shift byte " << i;
+
+  // Fully disjoint stays a plain copy.
+  std::vector<unsigned char> dis = init;
+  safe_copy(dis.data() + 32, dis.data(), 16);
+  for (std::size_t i = 0; i < 16; ++i) ASSERT_EQ(dis[32 + i], init[i]);
 }
 
 TEST(ThreadPool, ParallelSumCorrect) {

@@ -1,0 +1,27 @@
+// Build-sanitizer detection for the suites whose coverage depends on it.
+//
+// The multi-process backend fork()s worker ranks that then start their own
+// runtime threads. ThreadSanitizer does not support threads created in a
+// forked child (die_after_fork), so every fork-based test and fuzz draw
+// skips itself under TSan — the single-process conformance sweeps cover the
+// same dataflow there. ASan/UBSan handle fork + threads fine and keep the
+// coverage.
+#pragma once
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SMPSS_TSAN_BUILD 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define SMPSS_TSAN_BUILD 1
+#endif
+#ifndef SMPSS_TSAN_BUILD
+#define SMPSS_TSAN_BUILD 0
+#endif
+
+namespace smpss::testing {
+
+/// True when this build can fork worker ranks that spawn threads.
+constexpr bool fork_backend_supported() { return SMPSS_TSAN_BUILD == 0; }
+
+}  // namespace smpss::testing
